@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_<artifact>.py`` regenerates one table or figure
+of the paper through its experiment module, timed by pytest-benchmark,
+and prints the reproduced rows/series (visible with ``-s``; always
+written to ``bench_output.txt`` by the top-level run script).
+
+``REPRO_BENCH_SCALE`` overrides the trace scale (instructions per unit
+of Table 2-1 relative length); the default keeps the full harness in a
+couple of minutes of wall clock.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.traces.registry import BENCHMARK_NAMES, build_trace
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "20000"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The six benchmark traces at benchmark scale, materialized once."""
+    return [build_trace(name, BENCH_SCALE).materialize() for name in BENCHMARK_NAMES]
+
+
+def run_experiment(benchmark, experiment_run, suite, rounds: int = 1):
+    """Benchmark one experiment run and print its reproduction."""
+    result = benchmark.pedantic(
+        experiment_run, kwargs={"traces": suite}, rounds=rounds, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Ablations — design-choice ablations (swap/copy, LRU/FIFO, comparators, 2-way)."""
+
+from repro.experiments import ablations as experiment
+
+from conftest import run_experiment
+
+
+def test_ablations(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert all(row[1] >= row[3] - 1e-9 for row in result.rows)  # VC >= MC

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the SS3 associativity tradeoff — VC vs. extra ways."""
+
+from repro.experiments import ext_associativity as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_associativity(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    met = result.row_by_key("met")
+    assert met[7] > 0  # VC4 removes something on the conflict-heavy code

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate SS4.1's worked example — fetch bandwidth vs. latency."""
+
+from repro.experiments import ext_bandwidth as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_bandwidth(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    at_12 = result.row_by_key(12)
+    assert at_12[3] == 1.0   # stream buffer: one instruction per cycle
+    assert at_12[2] == 3.0   # tagged prefetch: one every three cycles

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the cold-start methodology check — cold vs. steady rates."""
+
+from repro.experiments import ext_cold_start as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_cold_start(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    for row in result.rows:
+        # Steady state is usually below cold; phase behaviour (liver's
+        # kernels differ) can nudge it slightly above.
+        assert row[2] <= row[1] * 1.1

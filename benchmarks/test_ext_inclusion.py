@@ -1,0 +1,12 @@
+"""Benchmark: regenerate SS3.5's inclusion observations — violations by config."""
+
+from repro.experiments import ext_inclusion as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_inclusion(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    no_vc = result.row_by_key("128B L2 lines, no VC")
+    with_vc = result.row_by_key("128B L2 lines, VC4")
+    assert with_vc[4] > 0.0  # the victim cache contributes violations

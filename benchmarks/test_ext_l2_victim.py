@@ -1,0 +1,10 @@
+"""Benchmark: regenerate SS3.5 extension — victim caching behind a scaled second-level cache."""
+
+from repro.experiments import ext_l2_victim as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_l2_victim(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert len(result.rows) == 6

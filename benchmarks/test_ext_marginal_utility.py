@@ -1,0 +1,11 @@
+"""Benchmark: regenerate SS3.1's marginal-utility argument — misses removed per line."""
+
+from repro.experiments import ext_marginal_utility as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_marginal_utility(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    vc1 = result.row_by_key("victim cache, 1 entr.")
+    assert vc1[4] > 5.0  # a VC line is worth many plain cache lines

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate SS5 extension — multiprogramming: miss inflation and helper-structure resilience."""
+
+from repro.experiments import ext_multiprog as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_multiprog(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.rows[0][2] >= result.rows[-2][2]  # shorter quanta inflate more

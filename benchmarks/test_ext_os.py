@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the SS5 OS-execution study — interrupt interference."""
+
+from repro.experiments import ext_os as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_os(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    inflations = [row[2] for row in result.rows[:-1]]
+    assert inflations == sorted(inflations, reverse=True)  # rarer interrupts hurt less

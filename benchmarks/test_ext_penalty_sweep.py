@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the miss-cost trend — improved-system speedup per era."""
+
+from repro.experiments import ext_penalty_sweep as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_penalty_sweep(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    speedups = [row[4] for row in result.rows]
+    assert speedups == sorted(speedups)  # value grows with miss cost

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the prefetch-bandwidth accounting — allocation filters."""
+
+from repro.experiments import ext_prefetch_traffic as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_prefetch_traffic(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    ccom = result.row_by_key("ccom")
+    assert ccom[5] > 50.0  # the filter saves most of ccom's wasted fetches

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate SS5 extension — stride-detecting vs. sequential stream buffers on non-unit-stride code."""
+
+from repro.experiments import ext_stride as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_stride(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    matcol = result.row_by_key("matcol (non-unit)")
+    assert matcol[5] > 3 * matcol[3]  # stride 4-way crushes seq 4-way

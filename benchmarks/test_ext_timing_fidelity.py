@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the SS4.1 timing-fidelity check — aggregate vs. timeline CPI."""
+
+from repro.experiments import ext_timing_fidelity as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_timing_fidelity(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    for row in result.rows:
+        assert row[2] >= row[1] - 1e-6  # availability can only add cycles

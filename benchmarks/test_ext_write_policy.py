@@ -1,0 +1,10 @@
+"""Benchmark: regenerate SS2 extension — write-through vs. write-back data cache traffic."""
+
+from repro.experiments import ext_write_policy as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_write_policy(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert all(row[6] > row[7] for row in result.rows)  # WT moves more bytes

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2-2 — percent of potential performance lost in the hierarchy."""
+
+from repro.experiments import figure_2_2 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_2_2(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.get("achieved").y

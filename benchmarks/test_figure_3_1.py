@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 3-1 — percent of misses due to conflicts (I and D)."""
+
+from repro.experiments import figure_3_1 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_3_1(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.get("L1 D-cache").point("average") > 0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3-3 — conflict misses removed by miss caching, 1-15 entries."""
+
+from repro.experiments import figure_3_3 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_3_3(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    curve = result.get("L1 D-cache average").y
+    assert curve == sorted(curve)

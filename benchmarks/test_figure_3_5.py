@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3-5 — conflict misses removed by victim caching, 1-15 entries."""
+
+from repro.experiments import figure_3_5 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_3_5(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    curve = result.get("L1 D-cache average").y
+    assert curve == sorted(curve)

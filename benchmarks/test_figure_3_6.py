@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 3-6 — victim cache benefit vs. direct-mapped cache size."""
+
+from repro.experiments import figure_3_6 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_3_6(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    # At benchmark scale the 128KB point has only a handful of conflict
+    # misses, so its percent-removed is noisy; the robust signal is the
+    # conflict share collapsing as the cache grows (the figure's second
+    # factor), plus meaningful removal where conflicts are plentiful.
+    share = result.get("percent conflict misses")
+    assert share.point(1) > 5 * share.point(128)
+    assert result.get("4-entry victim cache").point(4) > 20.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 3-7 — victim cache benefit vs. data-cache line size."""
+
+from repro.experiments import figure_3_7 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_3_7(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    vc4 = result.get("4-entry victim cache")
+    assert vc4.point(256) > vc4.point(8)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4-1 — instructions until a prefetched line is required (ccom)."""
+
+from repro.experiments import figure_4_1 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_4_1(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert len(result.series) == 3

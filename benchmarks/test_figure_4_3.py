@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4-3 — single stream buffer: cumulative misses removed vs. run length."""
+
+from repro.experiments import figure_4_3 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_4_3(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    i_avg = result.get("L1 I-cache average").y
+    d_avg = result.get("L1 D-cache average").y
+    assert i_avg[-1] > d_avg[-1]

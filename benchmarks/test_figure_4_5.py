@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4-5 — 4-way stream buffer: cumulative misses removed vs. run length."""
+
+from repro.experiments import figure_4_5 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_4_5(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.get("L1 D-cache average").y[-1] > 0

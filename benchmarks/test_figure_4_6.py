@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4-6 — stream buffer benefit vs. cache size."""
+
+from repro.experiments import figure_4_6 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_4_6(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    i_curve = result.get("single, I-cache").y
+    assert max(i_curve) - min(i_curve) < 25.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4-7 — stream buffer benefit vs. line size."""
+
+from repro.experiments import figure_4_7 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_4_7(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    d_curve = result.get("single, D-cache")
+    assert d_curve.point(8) > d_curve.point(128)

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 5-1 — combined system: victim cache + stream buffers speedup."""
+
+from repro.experiments import figure_5_1 as experiment
+
+from conftest import run_experiment
+
+
+def test_figure_5_1(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert all(row[3] >= 1.0 for row in result.rows[:-1])

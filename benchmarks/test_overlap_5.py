@@ -1,0 +1,10 @@
+"""Benchmark: regenerate SS5 overlap — victim-cache / stream-buffer hit overlap."""
+
+from repro.experiments import overlap_5 as experiment
+
+from conftest import run_experiment
+
+
+def test_overlap_5(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert all(0.0 <= row[5] <= 100.0 for row in result.rows)

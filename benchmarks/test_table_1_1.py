@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1-1 — the increasing cost of cache misses across machine generations."""
+
+from repro.experiments import table_1_1 as experiment
+
+from conftest import run_experiment
+
+
+def test_table_1_1(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.row_by_key("?")[5] > 100.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2-1 — test program characteristics of the synthetic suite."""
+
+from repro.experiments import table_2_1 as experiment
+
+from conftest import run_experiment
+
+
+def test_table_2_1(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert result.rows[-1][0] == "total"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2-2 — baseline first-level miss rates vs. the paper's."""
+
+from repro.experiments import table_2_2 as experiment
+
+from conftest import run_experiment
+
+
+def test_table_2_2(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    assert all(0.0 <= row[1] <= 1.0 for row in result.rows)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Would a victim cache help *your* program?
+
+The six benchmark generators are fixed calibrations of the paper's
+traces; `CustomWorkload` exposes the same pattern library through a few
+knobs so you can sketch your own program's behaviour and run the paper's
+design questions against it.
+
+This example models three caricatures — a database engine, a network
+packet processor, and a video decoder — and reports which of the paper's
+structures each one wants.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import (
+    CacheConfig,
+    CustomWorkload,
+    MissCache,
+    MultiWayStreamBuffer,
+    StreamBuffer,
+    VictimCache,
+)
+from repro.experiments.runner import run_level
+
+CACHE = CacheConfig(4096, 16)
+
+PROFILES = {
+    # B-tree descent and buffer-pool lookups: pointer-heavy, big working
+    # set, a slice of conflicts from hash-bucket collisions.
+    "database": CustomWorkload(
+        name="database",
+        instructions=40_000,
+        code_footprint=64 * 1024,
+        call_intensity=0.5,
+        sequential_fraction=0.05,
+        conflict_fraction=0.06,
+        pointer_fraction=0.35,
+        data_working_set=512 * 1024,
+    ),
+    # Packet processing: tight code, streaming payloads, header/state
+    # tables that collide.
+    "packet-proc": CustomWorkload(
+        name="packet-proc",
+        instructions=40_000,
+        code_footprint=6 * 1024,
+        call_intensity=0.15,
+        sequential_fraction=0.40,
+        conflict_fraction=0.10,
+        pointer_fraction=0.05,
+        data_working_set=256 * 1024,
+    ),
+    # Video decode: loop kernels streaming frames, almost no conflicts.
+    "video-decode": CustomWorkload(
+        name="video-decode",
+        instructions=40_000,
+        code_footprint=2 * 1024,
+        call_intensity=0.0,
+        sequential_fraction=0.70,
+        conflict_fraction=0.0,
+        pointer_fraction=0.0,
+        data_working_set=1024 * 1024,
+    ),
+}
+
+STRUCTURES = [
+    ("2-entry miss cache", lambda: MissCache(2)),
+    ("4-entry victim cache", lambda: VictimCache(4)),
+    ("single stream buffer", lambda: StreamBuffer(4)),
+    ("4-way stream buffer", lambda: MultiWayStreamBuffer(4, 4)),
+]
+
+
+def main() -> None:
+    print("percent of data misses removed, per structure:\n")
+    header = f"{'profile':14s}" + "".join(f"{label:>22s}" for label, _ in STRUCTURES)
+    print(header)
+    for name, profile in PROFILES.items():
+        trace = profile.build().materialize()
+        addresses = trace.data_addresses
+        baseline = run_level(addresses, CACHE)
+        cells = []
+        for _, make in STRUCTURES:
+            run = run_level(addresses, CACHE, make())
+            cells.append(100.0 * run.removed / max(1, baseline.misses))
+        print(f"{name:14s}" + "".join(f"{cell:21.1f}%" for cell in cells))
+    print(
+        "\nThe answer is the paper's: conflict-shaped programs want the victim\n"
+        "cache, streaming programs want the (multi-way) stream buffer, and the\n"
+        "two are close to orthogonal — which is why SS5 ships both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Design-space exploration: what should a cache designer build?
+
+Sweeps the questions a designer would actually ask of this library:
+
+1. How many victim-cache entries are worth their area?  (§3.1's marginal
+   argument: each victim-cache line vs. ~50x more lines of plain cache.)
+2. Victim cache vs. doubling the cache vs. going 2-way set-associative.
+3. Does the answer change with the workload mix?
+
+Run:  python examples/design_space.py [scale]
+"""
+
+import sys
+
+from repro import (
+    CacheConfig,
+    SetAssociativeCache,
+    VictimCache,
+    build_trace,
+)
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import victim_cache_sweep
+from repro.traces import BENCHMARK_NAMES
+
+LINE = 16
+BASE_SIZE = 4096
+
+
+def misses_with_cache(cache, addresses, offset_bits):
+    misses = 0
+    for address in addresses:
+        if not cache.access_and_fill(address >> offset_bits):
+            misses += 1
+    return misses
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 40_000
+    traces = [build_trace(name, scale=scale).materialize() for name in BENCHMARK_NAMES]
+    config = CacheConfig(BASE_SIZE, LINE)
+
+    # --- 1. marginal value of victim-cache entries --------------------------
+    print("1) data misses removed per victim-cache entry (suite totals)\n")
+    sweeps = [victim_cache_sweep(t.data_addresses, config) for t in traces]
+    total_misses = sum(s.total_misses for s in sweeps)
+    print(f"   baseline data misses: {total_misses}")
+    previous = 0
+    for entries in (1, 2, 4, 8, 15):
+        removed = sum(s.removed(entries) for s in sweeps)
+        marginal = removed - previous
+        print(
+            f"   {entries:2d} entries: {removed:6d} removed "
+            f"({100 * removed / total_misses:5.1f}%), +{marginal} vs previous"
+        )
+        previous = removed
+
+    # --- 2. victim cache vs. bigger cache vs. associativity -----------------
+    print("\n2) three ways to spend transistors (data side, suite totals)\n")
+    options = {
+        "4KB direct-mapped": lambda: (CacheConfig(BASE_SIZE, LINE), None),
+        "4KB DM + 4-entry VC": lambda: (CacheConfig(BASE_SIZE, LINE), VictimCache(4)),
+        "8KB direct-mapped": lambda: (CacheConfig(2 * BASE_SIZE, LINE), None),
+    }
+    for label, make in options.items():
+        cache_config, augmentation = make()
+        slow = 0
+        for trace in traces:
+            run = run_level(trace.data_addresses, cache_config, augmentation)
+            slow += run.stats.misses_to_next_level
+        print(f"   {label:22s} misses paying full penalty: {slow}")
+    # 2-way set-associative needs the raw cache model.
+    slow = 0
+    for trace in traces:
+        cache = SetAssociativeCache(CacheConfig(BASE_SIZE, LINE), ways=2)
+        slow += misses_with_cache(cache, trace.data_addresses, config.offset_bits)
+    print(f"   {'4KB 2-way (slower hit)':22s} misses paying full penalty: {slow}")
+
+    # --- 3. per-workload sensitivity ----------------------------------------
+    print("\n3) which workloads drive the answer (VC4, % of data misses removed)\n")
+    for trace, sweep in zip(traces, sweeps):
+        print(f"   {trace.name:8s} {sweep.percent_of_misses_removed(4):5.1f}%")
+    print(
+        "\nThe victim cache wins where misses are conflicts (met); the bigger\n"
+        "cache wins where they are capacity (liver, linpack) — and the paper's\n"
+        "point is that the victim cache costs a few lines, not a doubling,\n"
+        "while leaving the fast direct-mapped hit path untouched."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""The paper's §5 future-work list, answered.
+
+Section 5 closes with three open questions.  This example runs the
+extension machinery that answers each one:
+
+1. "Numeric programs with non-unit stride and mixed stride access
+   patterns also need to be simulated."  → the *matcol* workload plus
+   the stride-detecting stream buffer.
+2. "...victim caching and stream buffers need to be investigated ...
+   for multiprogramming workloads."  → context-switched traces sharing
+   one data cache.
+3. (§4.1's implicit question) how long a memory latency can a stream
+   buffer hide?  → the pipelined-interface bandwidth model.
+
+Run:  python examples/future_work.py
+"""
+
+from repro import (
+    CacheConfig,
+    MultiWayStreamBuffer,
+    MultiWayStrideBuffer,
+    StreamBuffer,
+    StrideStreamBuffer,
+    VictimCache,
+    build_trace,
+)
+from repro.buffers.base import CompositeAugmentation
+from repro.experiments.ext_multiprog import interleave_processes
+from repro.hierarchy import CacheLevel, FetchMechanism, sequential_fetch_cpi
+
+CACHE = CacheConfig(4096, 16)
+
+
+def removal(addresses, augmentation):
+    level = CacheLevel(CACHE, augmentation)
+    for address in addresses:
+        level.access(address)
+    stats = level.stats
+    return 100.0 * stats.removed_misses / max(1, stats.demand_misses)
+
+
+def part_1_non_unit_stride() -> None:
+    print("1) non-unit stride (matcol: column-major matrix walk)\n")
+    trace = build_trace("matcol", scale=45_000).materialize()
+    addresses = trace.data_addresses
+    rows = [
+        ("sequential buffer (paper SS4.1)", StreamBuffer(4)),
+        ("4-way sequential (paper SS4.2)", MultiWayStreamBuffer(4, 4)),
+        ("stride-detecting buffer", StrideStreamBuffer(4)),
+        ("4-way stride-detecting", MultiWayStrideBuffer(4, 4)),
+    ]
+    for label, augmentation in rows:
+        print(f"   {label:32s} {removal(addresses, augmentation):5.1f}% of misses removed")
+    print(
+        "\n   The sequential buffer sees nothing sequential in a column walk;\n"
+        "   learning the stride from two misses recovers nearly everything.\n"
+    )
+
+
+def part_2_multiprogramming() -> None:
+    print("2) multiprogramming (ccom + met + liver share the D-cache)\n")
+    streams = [
+        build_trace(name, scale=30_000).materialize().data_addresses
+        for name in ("ccom", "met", "liver")
+    ]
+    for quantum in (500, 5000):
+        mixed = interleave_processes(streams, quantum)
+        base = CacheLevel(CACHE)
+        for address in mixed:
+            base.access(address)
+        helped = CacheLevel(
+            CACHE, CompositeAugmentation([VictimCache(4), MultiWayStreamBuffer(4, 4)])
+        )
+        for address in mixed:
+            helped.access(address)
+        print(
+            f"   quantum {quantum:5d} refs: miss rate {base.stats.miss_rate:.3f}, "
+            f"helpers still remove "
+            f"{100 * helped.stats.removed_misses / max(1, helped.stats.demand_misses):.0f}%"
+        )
+    print(
+        "\n   A context switch wipes the helper structures almost for free —\n"
+        "   they hold a handful of lines and re-warm in a few misses.\n"
+    )
+
+
+def part_3_latency_tolerance() -> None:
+    print("3) latency tolerance (sequential fetch, 4-instruction lines)\n")
+    print(f"   {'latency':>8s} {'demand':>8s} {'tagged':>8s} {'stream':>8s}  (cycles/instr)")
+    for latency in (8, 12, 16, 24, 48):
+        row = [
+            sequential_fetch_cpi(mechanism, latency, 4)
+            for mechanism in (
+                FetchMechanism.DEMAND,
+                FetchMechanism.TAGGED,
+                FetchMechanism.STREAM,
+            )
+        ]
+        print(f"   {latency:8d} {row[0]:8.2f} {row[1]:8.2f} {row[2]:8.2f}")
+    print(
+        "\n   The paper's SS4.1 example is the latency-12 row: the stream buffer\n"
+        "   sustains one instruction per cycle where tagged prefetch manages\n"
+        "   one every three."
+    )
+
+
+def main() -> None:
+    part_1_non_unit_stride()
+    part_2_multiprogramming()
+    part_3_latency_tolerance()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Stream buffers on numeric code: linpack vs. the Livermore loops.
+
+§4 of the paper contrasts two streaming regimes:
+
+* **linpack** — one long unit-stride miss stream (the matrix passing
+  through the cache); a *single* stream buffer follows it.
+* **liver** — several array streams interleaved inside each kernel; the
+  alternation flushes a single buffer on every miss, but a four-way
+  buffer locks onto all of the streams at once (7% -> 60% in the paper).
+
+This example reproduces the contrast directly and also shows the stream
+buffer's pollution-freedom: prefetched lines live in the buffer, not the
+cache, so the useless prefetches of a non-streaming benchmark (met) cost
+bandwidth but never evict useful lines.
+
+Run:  python examples/matrix_streaming.py
+"""
+
+from repro import (
+    CacheConfig,
+    MultiWayStreamBuffer,
+    StreamBuffer,
+    build_trace,
+)
+from repro.hierarchy import CacheLevel
+
+CACHE = CacheConfig(4096, 16)
+SCALE = 60_000
+
+
+def removal_percent(addresses, augmentation) -> float:
+    level = CacheLevel(CACHE, augmentation)
+    for address in addresses:
+        level.access(address)
+    stats = level.stats
+    if stats.demand_misses == 0:
+        return 0.0
+    return 100.0 * stats.removed_misses / stats.demand_misses
+
+
+def main() -> None:
+    print(f"data-cache stream-buffer performance, {CACHE.size_bytes // 1024}KB cache\n")
+    print(f"{'benchmark':10s} {'single buffer':>14s} {'4-way buffer':>13s}")
+    for name in ("linpack", "liver", "met"):
+        trace = build_trace(name, scale=SCALE).materialize()
+        addresses = trace.data_addresses
+        single = removal_percent(addresses, StreamBuffer(entries=4))
+        multi = removal_percent(addresses, MultiWayStreamBuffer(ways=4, entries=4))
+        print(f"{name:10s} {single:13.1f}% {multi:12.1f}%")
+
+    print(
+        "\nlinpack's one sequential stream suits a single buffer; liver's\n"
+        "interleaved kernels need four; met's conflict-dominated misses are\n"
+        "the victim cache's job, not the stream buffer's (SS5: the two\n"
+        "mechanisms are orthogonal)."
+    )
+
+    # Show where the stream breaks: the run-offset histogram behind
+    # Figure 4-3, for linpack's data side.
+    trace = build_trace("linpack", scale=SCALE).materialize()
+    buffer = StreamBuffer(entries=4, track_run_offsets=True)
+    level = CacheLevel(CACHE, buffer)
+    for address in trace.data_addresses:
+        level.access(address)
+    histogram = buffer.run_offsets
+    print("\nlinpack: stream-buffer hits by distance from the allocating miss")
+    total = max(1, level.stats.demand_misses)
+    for offset in range(1, 11):
+        count = histogram.counts.get(offset, 0)
+        bar = "#" * max(1, round(60 * count / total)) if count else ""
+        print(f"  +{offset:2d} lines  {count:6d}  {bar}")
+    tail = sum(c for k, c in histogram.counts.items() if k > 10)
+    print(f"  beyond 10  {tail:6d}")
+
+
+if __name__ == "__main__":
+    main()

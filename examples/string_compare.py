@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's §3.1 motivating example: comparing two strings that map
+to the same cache line.
+
+"Consider the case where two character strings are being compared. If
+the points of comparison of the two strings happen to map to the same
+line, alternating references to different strings will always miss in
+the cache. In this case a miss cache of only two entries would remove
+all of the conflict misses."
+
+This example builds exactly that reference stream and shows:
+
+* a bare direct-mapped cache missing on *every* access;
+* a 1-entry miss cache removing nothing (the requested line duplicates
+  the one just loaded into L1);
+* a 2-entry miss cache removing everything after warmup;
+* a 1-entry victim cache — half the hardware — doing the same, because
+  it holds the line the alternation just displaced.
+
+Run:  python examples/string_compare.py
+"""
+
+from repro import CacheConfig, MissCache, VictimCache
+from repro.hierarchy import CacheLevel
+from repro.traces.patterns import string_compare
+
+CACHE = CacheConfig(4096, 16)
+STRING_A = 0x1000_0000
+#: Exactly 8 cache-frames away: the comparison points collide.
+STRING_B = STRING_A + 8 * 4096
+LENGTH = 64  # bytes compared per pass
+PASSES = 50
+
+
+def build_reference_stream():
+    stream = string_compare(STRING_A, STRING_B, LENGTH)
+    return [next(stream) for _ in range(2 * LENGTH * PASSES)]
+
+
+def simulate(label, augmentation):
+    level = CacheLevel(CACHE, augmentation)
+    for address in build_reference_stream():
+        level.access(address)
+    stats = level.stats
+    removed = stats.removed_misses
+    print(
+        f"  {label:24s} misses {stats.demand_misses:5d}   "
+        f"removed {removed:5d}  ({100 * removed / max(1, stats.demand_misses):5.1f}%)   "
+        f"still-slow {stats.misses_to_next_level:5d}"
+    )
+
+
+def main() -> None:
+    refs = 2 * LENGTH * PASSES
+    print(
+        f"comparing two {LENGTH}-byte strings {STRING_B - STRING_A:#x} apart, "
+        f"{PASSES} passes = {refs} references"
+    )
+    print(f"both map to the same lines of a {CACHE.size_bytes // 1024}KB direct-mapped cache\n")
+    simulate("no helper", None)
+    simulate("1-entry miss cache", MissCache(1))
+    simulate("2-entry miss cache", MissCache(2))
+    simulate("1-entry victim cache", VictimCache(1))
+    print(
+        "\nThe alternation defeats the direct-mapped cache completely; two miss-cache\n"
+        "entries (or a single victim-cache entry) recover every miss after warmup —\n"
+        "the paper's case for a few fully-associative lines beside a fast cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

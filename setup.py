@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so the package can
+be installed in environments without the `wheel` module (PEP 660 editable
+installs need to build a wheel, `setup.py develop` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""The paper's contribution: miss caches, victim caches, stream buffers,
+and the classical prefetch baselines they are compared against."""
+
+from .base import CompositeAugmentation, L1Augmentation, MissLookup, NullAugmentation
+from .miss_cache import MissCache
+from .prefetch import PrefetchingCache, PrefetchScheme, PrefetchStats
+from .stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from .stride import MultiWayStrideBuffer, StrideStreamBuffer
+from .victim_cache import VictimCache
+
+__all__ = [
+    "L1Augmentation",
+    "MissLookup",
+    "NullAugmentation",
+    "CompositeAugmentation",
+    "MissCache",
+    "VictimCache",
+    "StreamBuffer",
+    "MultiWayStreamBuffer",
+    "StrideStreamBuffer",
+    "MultiWayStrideBuffer",
+    "PrefetchingCache",
+    "PrefetchScheme",
+    "PrefetchStats",
+]

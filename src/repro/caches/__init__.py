@@ -1,0 +1,14 @@
+"""Cache tag-store models: direct-mapped, fully-associative, set-associative."""
+
+from .base import Cache
+from .direct_mapped import DirectMappedCache
+from .fully_associative import FullyAssociativeCache, ReplacementPolicy
+from .set_associative import SetAssociativeCache
+
+__all__ = [
+    "Cache",
+    "DirectMappedCache",
+    "FullyAssociativeCache",
+    "ReplacementPolicy",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,74 @@
+"""Abstract cache interface shared by every cache organisation.
+
+All caches in this package operate on *line addresses* (byte address
+shifted right by the line-offset bits) and model tags only — the
+simulator is miss-rate and timing oriented, so line *contents* are never
+stored.  This is the standard trace-driven methodology the paper uses.
+
+The interface deliberately separates :meth:`probe` (lookup without side
+effects), :meth:`access` (lookup that updates replacement state), and
+:meth:`fill` (insertion that may evict a victim).  The helper structures
+of the paper need this split: a victim cache, for instance, must know the
+victim of an L1 fill, and a shadow classifier must probe without
+perturbing its own LRU order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+__all__ = ["Cache"]
+
+
+class Cache(abc.ABC):
+    """Tag store of one cache level, addressed by line address."""
+
+    @abc.abstractmethod
+    def probe(self, line_addr: int) -> bool:
+        """Return True when the line is resident; never changes state."""
+
+    @abc.abstractmethod
+    def access(self, line_addr: int) -> bool:
+        """Look up a line, updating replacement state. Returns hit/miss."""
+
+    @abc.abstractmethod
+    def fill(self, line_addr: int) -> Optional[int]:
+        """Insert a line, returning the evicted victim line (or None).
+
+        Filling a line that is already resident refreshes its replacement
+        state and evicts nothing.
+        """
+
+    @abc.abstractmethod
+    def invalidate(self, line_addr: int) -> bool:
+        """Remove a line if present; returns whether it was resident."""
+
+    @abc.abstractmethod
+    def resident_lines(self) -> Iterator[int]:
+        """Iterate over the line addresses currently resident."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Empty the cache (used between independent simulation runs)."""
+
+    # -- conveniences with a shared default implementation ---------------
+
+    def __contains__(self, line_addr: int) -> bool:
+        return self.probe(line_addr)
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(1 for _ in self.resident_lines())
+
+    def access_and_fill(self, line_addr: int) -> bool:
+        """Common demand-access pattern: look up, fill on a miss.
+
+        Returns True on a hit.  The victim (if any) is discarded, which
+        is fine for plain miss-rate simulation; levels that feed a victim
+        cache call :meth:`access` and :meth:`fill` separately.
+        """
+        if self.access(line_addr):
+            return True
+        self.fill(line_addr)
+        return False

@@ -1,0 +1,85 @@
+"""Direct-mapped cache tag store.
+
+The paper's first- and second-level caches are all direct mapped, since
+"this results in the fastest effective access time" (§2): each line
+address maps to exactly one slot, so a lookup is a single tag compare.
+The tag array stores the *full* line address of the resident line (rather
+than the upper tag bits only), which is equivalent and keeps the code
+free of tag/index reassembly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..common.address import log2_exact
+from ..common.config import CacheConfig
+from .base import Cache
+
+__all__ = ["DirectMappedCache"]
+
+#: Sentinel for an invalid (empty) slot.  ``None`` keeps the hot path a
+#: single comparison (``tags[idx] == line_addr`` is False for None).
+_EMPTY = None
+
+
+class DirectMappedCache(Cache):
+    """A direct-mapped cache of ``size_bytes / line_size`` one-line sets."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_lines = config.num_lines
+        self._index_mask = self.num_lines - 1
+        log2_exact(self.num_lines, "number of lines")
+        self._tags: List[Optional[int]] = [_EMPTY] * self.num_lines
+
+    # -- Cache interface --------------------------------------------------
+
+    def probe(self, line_addr: int) -> bool:
+        return self._tags[line_addr & self._index_mask] == line_addr
+
+    def access(self, line_addr: int) -> bool:
+        # Direct-mapped caches keep no replacement state, so access and
+        # probe coincide.
+        return self._tags[line_addr & self._index_mask] == line_addr
+
+    def fill(self, line_addr: int) -> Optional[int]:
+        index = line_addr & self._index_mask
+        victim = self._tags[index]
+        self._tags[index] = line_addr
+        if victim == line_addr:
+            return None
+        return victim
+
+    def invalidate(self, line_addr: int) -> bool:
+        index = line_addr & self._index_mask
+        if self._tags[index] == line_addr:
+            self._tags[index] = _EMPTY
+            return True
+        return False
+
+    def resident_lines(self) -> Iterator[int]:
+        return (tag for tag in self._tags if tag is not _EMPTY)
+
+    def clear(self) -> None:
+        self._tags = [_EMPTY] * self.num_lines
+
+    # -- direct-mapped specifics ------------------------------------------
+
+    def index_of(self, line_addr: int) -> int:
+        """The unique set index a line address maps to."""
+        return line_addr & self._index_mask
+
+    def resident_at(self, index: int) -> Optional[int]:
+        """Line currently held by set *index*, or None when invalid."""
+        return self._tags[index]
+
+    def conflicts_with(self, a: int, b: int) -> bool:
+        """Whether two distinct lines map to the same set (a mapping conflict)."""
+        return a != b and self.index_of(a) == self.index_of(b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectMappedCache(size={self.config.size_bytes}B, "
+            f"line={self.config.line_size}B, lines={self.num_lines})"
+        )

@@ -1,0 +1,6 @@
+"""Miss classification (3C) and multi-level inclusion monitoring."""
+
+from .inclusion import InclusionMonitor, InclusionReport
+from .miss_classifier import MissClassifier
+
+__all__ = ["MissClassifier", "InclusionMonitor", "InclusionReport"]

@@ -1,0 +1,117 @@
+"""3C miss classification (paper §3, after Hill's thesis).
+
+The paper classifies misses into four categories:
+
+* **compulsory** — the first reference ever made to the line;
+* **conflict** — a miss that would *not* have occurred if the cache were
+  fully associative with LRU replacement;
+* **capacity** — a miss the fully-associative cache of the same total
+  size would also take (the working set simply does not fit);
+* **coherence** — invalidation misses, always zero in this uniprocessor
+  reproduction but reported explicitly.
+
+The classifier runs a fully-associative LRU *shadow cache* of the same
+capacity alongside the real direct-mapped cache.  It must observe every
+access — hits included — or the shadow's LRU state diverges from what a
+fully-associative cache would actually have held.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..caches.fully_associative import FullyAssociativeCache, ReplacementPolicy
+from ..common.errors import ConfigurationError
+from ..common.stats import percent
+from ..common.types import MissKind
+
+__all__ = ["MissClassifier"]
+
+
+class MissClassifier:
+    """Classify each miss of a direct-mapped cache into the 3C taxonomy."""
+
+    def __init__(self, num_lines: int):
+        if num_lines < 1:
+            raise ConfigurationError(f"num_lines must be >= 1, got {num_lines}")
+        self.num_lines = num_lines
+        self._shadow = FullyAssociativeCache(num_lines, ReplacementPolicy.LRU)
+        self._ever_referenced: Set[int] = set()
+        self.counts: Dict[MissKind, int] = {kind: 0 for kind in MissKind}
+        self.accesses = 0
+        self.misses = 0
+
+    def observe(self, line_addr: int, direct_mapped_hit: bool) -> Optional[MissKind]:
+        """Record one access; classify and return its miss kind (or None).
+
+        *direct_mapped_hit* is the outcome in the real cache.  Note that
+        helper-structure hits (miss cache / victim cache / stream buffer)
+        are still direct-mapped misses and must be passed as misses —
+        classification is a property of the baseline cache organisation,
+        independent of what removes the miss.
+        """
+        self.accesses += 1
+        first_reference = line_addr not in self._ever_referenced
+        if first_reference:
+            self._ever_referenced.add(line_addr)
+        shadow_hit = self._shadow.access(line_addr)
+        if not shadow_hit:
+            self._shadow.fill(line_addr)
+        if direct_mapped_hit:
+            return None
+        self.misses += 1
+        if first_reference:
+            kind = MissKind.COMPULSORY
+        elif shadow_hit:
+            kind = MissKind.CONFLICT
+        else:
+            kind = MissKind.CAPACITY
+        self.counts[kind] += 1
+        return kind
+
+    def reset(self) -> None:
+        self._shadow.clear()
+        self._ever_referenced.clear()
+        self.reset_counts()
+
+    def reset_counts(self) -> None:
+        """Zero the statistics while keeping the shadow state.
+
+        Used for steady-state measurement: after a warm-up replay the
+        counters restart, but the shadow cache and the first-reference
+        set must keep their history or warm misses would be reclassified
+        as compulsory.
+        """
+        self.counts = {kind: 0 for kind in MissKind}
+        self.accesses = 0
+        self.misses = 0
+
+    # -- derived statistics ----------------------------------------------------
+
+    @property
+    def conflict_misses(self) -> int:
+        return self.counts[MissKind.CONFLICT]
+
+    @property
+    def compulsory_misses(self) -> int:
+        return self.counts[MissKind.COMPULSORY]
+
+    @property
+    def capacity_misses(self) -> int:
+        return self.counts[MissKind.CAPACITY]
+
+    @property
+    def percent_conflict(self) -> float:
+        """Share of all misses due to conflicts — Figure 3-1's quantity."""
+        return percent(self.conflict_misses, self.misses)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "misses": self.misses,
+            "compulsory": self.compulsory_misses,
+            "capacity": self.capacity_misses,
+            "conflict": self.conflict_misses,
+            "coherence": self.counts[MissKind.COHERENCE],
+            "percent_conflict": self.percent_conflict,
+        }

@@ -1,0 +1,61 @@
+"""Address arithmetic helpers.
+
+Every cache in the simulator identifies a memory block by its *line
+address*: the byte address shifted right by ``log2(line_size)``.  The
+functions here centralise that arithmetic and validate the power-of-two
+constraints the hardware structures rely on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "log2_exact",
+    "line_address",
+    "line_base",
+    "line_index",
+    "align_down",
+    "align_up",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int, what: str = "value") -> int:
+    """Return ``log2(value)``, raising ValueError unless it is exact.
+
+    *what* names the offending parameter in the error message so that
+    configuration mistakes are reported in the caller's vocabulary
+    ("line_size must be a power of two", not "value must ...").
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+    return value.bit_length() - 1
+
+
+def line_address(byte_address: int, line_size: int) -> int:
+    """Map a byte address to its cache-line address."""
+    return byte_address >> log2_exact(line_size, "line_size")
+
+
+def line_base(line_addr: int, line_size: int) -> int:
+    """Return the first byte address covered by a line address."""
+    return line_addr << log2_exact(line_size, "line_size")
+
+
+def line_index(line_addr: int, num_lines: int) -> int:
+    """Map a line address to a direct-mapped set index."""
+    return line_addr & (num_lines - 1)
+
+
+def align_down(byte_address: int, alignment: int) -> int:
+    """Round *byte_address* down to a multiple of *alignment*."""
+    return byte_address & ~(alignment - 1)
+
+
+def align_up(byte_address: int, alignment: int) -> int:
+    """Round *byte_address* up to a multiple of *alignment*."""
+    return (byte_address + alignment - 1) & ~(alignment - 1)

@@ -1,0 +1,151 @@
+"""Statistics helpers shared by the experiments.
+
+The paper is explicit about its headline metric (footnote 1, §3.1): the
+*average reduction in miss rate* is computed by taking the percent
+reduction for each benchmark individually and then averaging those
+percentages, so that a benchmark with a tiny miss rate counts as much as
+one with a huge miss rate.  :func:`average_percent_reduction` implements
+exactly that, and the experiment modules use it everywhere the paper
+reports an "average" improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = [
+    "percent",
+    "percent_reduction",
+    "average_percent_reduction",
+    "safe_div",
+    "cumulative",
+    "RatioStat",
+    "Histogram",
+]
+
+
+def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Divide, returning *default* when the denominator is zero.
+
+    Zero denominators are routine here (a benchmark with no instruction
+    misses has no instruction conflict misses to remove), and the paper's
+    plots simply show such points at zero.
+    """
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def percent(part: float, whole: float) -> float:
+    """Return ``part / whole`` as a percentage, 0.0 when *whole* is zero."""
+    return 100.0 * safe_div(part, whole)
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Percent reduction from *baseline* down to *improved*.
+
+    A negative result means the "improved" configuration got worse, which
+    the experiments deliberately do not clamp — a structure that hurts
+    should show as hurting.
+    """
+    return 100.0 * safe_div(baseline - improved, baseline)
+
+
+def average_percent_reduction(pairs: Iterable) -> float:
+    """The paper's averaging metric over ``(baseline, improved)`` pairs.
+
+    Each pair contributes its own percent reduction; the result is the
+    unweighted mean of those percentages.  Pairs whose baseline is zero
+    are skipped entirely (no misses means nothing to reduce), matching
+    how the paper handles linpack/liver instruction caches.
+    """
+    reductions: List[float] = []
+    for baseline, improved in pairs:
+        if baseline == 0:
+            continue
+        reductions.append(percent_reduction(baseline, improved))
+    if not reductions:
+        return 0.0
+    return sum(reductions) / len(reductions)
+
+
+def cumulative(values: Sequence) -> List[float]:
+    """Running sum of a sequence, used for the stream-buffer run plots."""
+    total = 0.0
+    out: List[float] = []
+    for value in values:
+        total += value
+        out.append(total)
+    return out
+
+
+@dataclass
+class RatioStat:
+    """A hits/total style counter with convenient rate accessors."""
+
+    events: int = 0
+    total: int = 0
+
+    def record(self, happened: bool) -> None:
+        self.total += 1
+        if happened:
+            self.events += 1
+
+    @property
+    def rate(self) -> float:
+        return safe_div(self.events, self.total)
+
+    @property
+    def as_percent(self) -> float:
+        return 100.0 * self.rate
+
+    def merged_with(self, other: "RatioStat") -> "RatioStat":
+        return RatioStat(self.events + other.events, self.total + other.total)
+
+
+@dataclass
+class Histogram:
+    """A sparse integer-keyed histogram with cumulative queries.
+
+    Used for LRU stack-depth profiles (single-pass multi-size victim and
+    miss cache evaluation) and stream-buffer run-offset profiles.
+    """
+
+    counts: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, key: int, amount: int = 1) -> None:
+        self.counts[key] = self.counts.get(key, 0) + amount
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count_at_most(self, key: int) -> int:
+        """Total weight at keys ``<= key`` — e.g. hits a cache of that depth captures."""
+        return sum(c for k, c in self.counts.items() if k <= key)
+
+    def as_series(self, keys: Iterable[int]) -> List[int]:
+        """Dense per-key counts for the requested keys (missing keys are 0)."""
+        return [self.counts.get(k, 0) for k in keys]
+
+    def cumulative_series(self, keys: Sequence) -> List[int]:
+        """Cumulative counts evaluated at each of the (sorted) *keys*."""
+        return [self.count_at_most(k) for k in keys]
+
+    def merge(self, other: "Histogram") -> None:
+        for key, count in other.counts.items():
+            self.add(key, count)
+
+
+def weighted_mean(values: Mapping, weights: Mapping) -> float:
+    """Mean of ``values`` weighted by ``weights`` over their shared keys."""
+    total_weight = 0.0
+    acc = 0.0
+    for key, value in values.items():
+        weight = weights.get(key, 0.0)
+        acc += value * weight
+        total_weight += weight
+    return safe_div(acc, total_weight)
+
+
+__all__.append("weighted_mean")

@@ -1,0 +1,150 @@
+"""Core value types shared by every layer of the simulator.
+
+The simulator is trace driven: a *trace* is an iterable of memory accesses,
+each of which is an instruction fetch, a data load, or a data store at a
+byte address.  For speed the hot simulation loops treat accesses as plain
+``(kind, address)`` integer pairs, but the public API exposes a small
+:class:`Access` record with named fields and helper predicates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "AccessKind",
+    "Access",
+    "IFETCH",
+    "LOAD",
+    "STORE",
+    "AccessOutcome",
+    "MissKind",
+]
+
+
+class AccessKind(enum.IntEnum):
+    """The three kinds of memory reference found in a trace.
+
+    The integer values are stable and used directly in compact trace
+    encodings (see :mod:`repro.traces.io`), so they must never change.
+    """
+
+    IFETCH = 0
+    LOAD = 1
+    STORE = 2
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for instruction fetches (routed to the I-cache)."""
+        return self is AccessKind.IFETCH
+
+    @property
+    def is_data(self) -> bool:
+        """True for loads and stores (routed to the D-cache)."""
+        return self is not AccessKind.IFETCH
+
+    @property
+    def is_write(self) -> bool:
+        """True only for stores."""
+        return self is AccessKind.STORE
+
+
+#: Convenient module-level aliases matching the paper's terminology.
+IFETCH = AccessKind.IFETCH
+LOAD = AccessKind.LOAD
+STORE = AccessKind.STORE
+
+
+@dataclass(frozen=True)
+class Access:
+    """A single memory reference: *kind* plus a byte *address*.
+
+    Addresses are non-negative integers; the simulator does not impose a
+    word size, though the synthetic workloads stay within 32 bits.
+    """
+
+    kind: AccessKind
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+
+    @property
+    def is_instruction(self) -> bool:
+        return self.kind.is_instruction
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind.is_data
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.is_write
+
+    def line(self, line_size: int) -> int:
+        """Return the cache-line address for a given power-of-two line size."""
+        return self.address // line_size
+
+    def as_pair(self) -> tuple:
+        """Compact ``(kind, address)`` integer pair used by the hot loops."""
+        return (int(self.kind), self.address)
+
+
+class AccessOutcome(enum.IntEnum):
+    """Where an access was satisfied inside one cache level.
+
+    These mirror the cost classes in the paper: a plain hit is free, a hit
+    in one of the small fully-associative helper structures costs one
+    cycle, and everything else pays the full next-level penalty.
+    """
+
+    HIT = 0
+    #: L1 miss satisfied by the miss cache (one-cycle reload; §3.1).
+    MISS_CACHE_HIT = 1
+    #: L1 miss satisfied by the victim cache (one-cycle swap; §3.2).
+    VICTIM_HIT = 2
+    #: L1 miss satisfied by a stream buffer head (one-cycle reload; §4.1).
+    STREAM_HIT = 3
+    #: L1 miss that goes to the next level of the hierarchy.
+    MISS = 4
+
+    @property
+    def is_l1_miss(self) -> bool:
+        """True for every outcome the paper counts as a first-level miss.
+
+        Note the paper counts miss-cache / victim-cache / stream-buffer
+        hits as *removed* misses: they are still misses of the
+        direct-mapped array but cost one cycle instead of the full
+        penalty.
+        """
+        return self is not AccessOutcome.HIT
+
+    @property
+    def is_removed_miss(self) -> bool:
+        """True when a helper structure turned a long miss into one cycle."""
+        return self in (
+            AccessOutcome.MISS_CACHE_HIT,
+            AccessOutcome.VICTIM_HIT,
+            AccessOutcome.STREAM_HIT,
+        )
+
+    @property
+    def goes_to_next_level(self) -> bool:
+        """True when the access must be serviced by the next level."""
+        return self is AccessOutcome.MISS
+
+
+class MissKind(enum.IntEnum):
+    """Hill's 3C miss classification used throughout the paper (§3).
+
+    Coherence misses are part of the taxonomy but never occur in this
+    uniprocessor reproduction; the value exists so reports can show an
+    explicit zero rather than silently omitting the class.
+    """
+
+    COMPULSORY = 0
+    CAPACITY = 1
+    CONFLICT = 2
+    COHERENCE = 3

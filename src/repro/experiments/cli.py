@@ -1,0 +1,107 @@
+"""Command-line entry point: reproduce the paper's tables and figures.
+
+Usage::
+
+    repro-experiments                    # run everything
+    repro-experiments figure_3_5 ...     # run selected experiments
+    repro-experiments --list             # list experiment ids
+    repro-experiments --scale 30000      # smaller/larger traces
+
+The scale flag (or the REPRO_SCALE environment variable) sets the
+instruction count per unit of Table 2-1 relative trace length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from . import ALL_EXPERIMENTS
+from .base import FigureResult
+from .plotting import plot_figure
+from .workloads import suite
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Jouppi's victim-cache paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment ids to run (default: all); see --list",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help="instructions per unit of relative trace length (default: registry default)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also draw figures as ASCII charts (average series only)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="evaluate the paper's shape claims against a live run and exit",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write a Markdown report of the selected experiments to FILE",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    if args.check:
+        from .checks import render_outcomes, run_checks
+
+        outcomes = run_checks(scale=args.scale, seed=args.seed)
+        print(render_outcomes(outcomes))
+        return 0 if all(o.passed for o in outcomes) else 1
+    selected = args.experiments or list(ALL_EXPERIMENTS)
+    unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print("use --list to see available ids", file=sys.stderr)
+        return 2
+    # Materialize the shared suite once so per-experiment times are honest.
+    traces = suite(args.scale, args.seed)
+    if args.report:
+        from .report import write_report
+
+        path = write_report(
+            args.report, selected, traces=traces, scale=args.scale, seed=args.seed
+        )
+        print(f"wrote report to {path}")
+        return 0
+    for name in selected:
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](traces=traces, scale=args.scale, seed=args.seed)
+        elapsed = time.time() - started
+        print(result.render())
+        if args.plot and isinstance(result, FigureResult):
+            print()
+            print(plot_figure(result))
+        print(f"[{name} in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Methodology check: cold-start share of the measured miss rates.
+
+The paper's traces run 23M-145M instructions, so compulsory (first-
+reference) misses are a negligible share of its Table 2-2 rates; the
+synthetic traces are ~500x shorter, so some of each measured rate is
+cold start.  This experiment quantifies it by measuring every benchmark
+twice: cold (as Table 2-2 does) and steady-state (the first third of
+the trace replayed as warm-up, counters reset, remainder measured).
+
+The delta column is the honest error bar on the calibration; the
+steady-state conflict share shows that the *conflict* behaviour — what
+the paper's structures attack — is not a cold-start artifact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import CacheConfig
+from .base import TableResult
+from .runner import run_level
+from .workloads import suite
+
+__all__ = ["run"]
+
+CONFIG = CacheConfig(4096, 16)
+
+
+def run(traces=None, scale: Optional[int] = None, seed: int = 0) -> TableResult:
+    traces = traces if traces is not None else suite(scale, seed)
+    rows = []
+    for trace in traces:
+        addresses = trace.data_addresses
+        warmup = len(addresses) // 3
+        cold = run_level(addresses, CONFIG, classify=True)
+        warm = run_level(addresses, CONFIG, classify=True, warmup=warmup)
+        cold_rate = cold.stats.miss_rate
+        warm_rate = warm.stats.miss_rate
+        rows.append(
+            [
+                trace.name,
+                round(cold_rate, 4),
+                round(warm_rate, 4),
+                round(100.0 * (cold_rate - warm_rate) / max(1e-12, cold_rate), 1),
+                round(cold.classifier.percent_conflict, 1),
+                round(warm.classifier.percent_conflict, 1),
+            ]
+        )
+    return TableResult(
+        experiment_id="ext_cold_start",
+        title="Methodology: cold vs. steady-state data miss rates (warm-up = first third)",
+        headers=[
+            "program",
+            "cold rate",
+            "steady rate",
+            "cold-start share %",
+            "cold confl %",
+            "steady confl %",
+        ],
+        rows=rows,
+        notes=[
+            "the paper's 10^8-instruction traces amortize cold start to noise;",
+            "at synthetic scale this table is the error bar on Table 2-2's",
+            "reproduction, and shows conflict shares survive steady state",
+        ],
+    )

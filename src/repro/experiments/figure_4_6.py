@@ -1,0 +1,70 @@
+"""Figure 4-6: stream buffer performance vs. cache size.
+
+Average percent of misses removed by single and four-way stream buffers
+(16-byte lines) as the backing cache grows from 1KB to 128KB, for both
+sides.  Paper landmarks: instruction-side removal is remarkably flat
+across cache sizes; single-buffer data-side removal *improves* with
+cache size (from ~15% at 1KB to ~35% at 128KB) because bigger caches
+absorb the scattered traffic, leaving the long sequential streams as the
+surviving misses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from ..common.config import CacheConfig
+from .base import FigureResult, Series
+from .runner import run_level
+from .workloads import suite
+
+__all__ = ["run", "CACHE_SIZES_KB"]
+
+CACHE_SIZES_KB = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+def _average_removal(traces, side: str, config: CacheConfig, make_buffer) -> float:
+    percents: List[float] = []
+    for trace in traces:
+        stream = trace.stream(side)
+        run = run_level(stream, config, make_buffer())
+        if run.misses == 0:
+            continue
+        percents.append(100.0 * run.removed / run.misses)
+    return sum(percents) / len(percents) if percents else 0.0
+
+
+def run(traces=None, scale: Optional[int] = None, seed: int = 0) -> FigureResult:
+    traces = traces if traces is not None else suite(scale, seed)
+    curves = {
+        "single, I-cache": [],
+        "single, D-cache": [],
+        "4-way, I-cache": [],
+        "4-way, D-cache": [],
+    }
+    for size_kb in CACHE_SIZES_KB:
+        config = CacheConfig(size_kb * 1024, 16)
+        curves["single, I-cache"].append(
+            _average_removal(traces, "i", config, lambda: StreamBuffer(4))
+        )
+        curves["single, D-cache"].append(
+            _average_removal(traces, "d", config, lambda: StreamBuffer(4))
+        )
+        curves["4-way, I-cache"].append(
+            _average_removal(traces, "i", config, lambda: MultiWayStreamBuffer(4, 4))
+        )
+        curves["4-way, D-cache"].append(
+            _average_removal(traces, "d", config, lambda: MultiWayStreamBuffer(4, 4))
+        )
+    return FigureResult(
+        experiment_id="figure_4_6",
+        title="Stream buffer performance vs. cache size (16B lines)",
+        xlabel="cache size (KB)",
+        ylabel="percent of misses removed (avg over benchmarks)",
+        series=[Series(label, CACHE_SIZES_KB, values) for label, values in curves.items()],
+        notes=[
+            "paper: I-side flat across sizes; single-buffer D-side improves with size",
+            "(15% at 1KB to 35% at 128KB)",
+        ],
+    )

@@ -1,0 +1,118 @@
+"""Design-space grid sweeps.
+
+The paper explores its design space one axis at a time (entries in
+Figures 3-3/3-5, cache size in 3-6/4-6, line size in 3-7/4-7).  This
+module generalises that: a cartesian sweep over cache sizes, line
+sizes, and helper structures, returning a long-format table — the tool
+a designer points at their own workload after reading the paper.
+
+::
+
+    from repro.experiments.grid import GridSpec, sweep_grid
+
+    spec = GridSpec(
+        cache_sizes_kb=[4, 8, 16],
+        line_sizes=[16, 32],
+        structures={"none": None, "vc4": lambda: VictimCache(4)},
+    )
+    table = sweep_grid(traces, spec, side="d")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..buffers.base import L1Augmentation
+from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from ..buffers.victim_cache import VictimCache
+from ..common.config import CacheConfig
+from ..common.errors import ConfigurationError
+from ..common.stats import percent
+from .base import TableResult
+from .runner import run_level
+
+__all__ = ["GridSpec", "sweep_grid", "default_structures"]
+
+StructureFactory = Optional[Callable[[], L1Augmentation]]
+
+
+def default_structures() -> Dict[str, StructureFactory]:
+    """The paper's §5 shortlist as a ready-made structure axis."""
+    return {
+        "none": None,
+        "vc4": lambda: VictimCache(4),
+        "sb1x4": lambda: StreamBuffer(4),
+        "sb4x4": lambda: MultiWayStreamBuffer(4, 4),
+    }
+
+
+@dataclass
+class GridSpec:
+    """Axes of a design-space sweep."""
+
+    cache_sizes_kb: Sequence[int] = (4,)
+    line_sizes: Sequence[int] = (16,)
+    structures: Dict[str, StructureFactory] = field(default_factory=default_structures)
+    #: Optional warm-up prefix (references) for steady-state numbers.
+    warmup: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cache_sizes_kb or not self.line_sizes or not self.structures:
+            raise ConfigurationError("every grid axis needs at least one point")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.cache_sizes_kb) * len(self.line_sizes) * len(self.structures)
+
+
+def sweep_grid(
+    traces,
+    spec: GridSpec,
+    side: str = "d",
+    experiment_id: str = "grid",
+) -> TableResult:
+    """Run every grid point for every trace; long-format results.
+
+    Columns: trace, cache KB, line B, structure, miss rate, % removed,
+    % reaching the next level.  Suitable for pivoting/plotting by the
+    caller; each row is one independent simulation.
+    """
+    rows: List[List] = []
+    for trace in traces:
+        addresses = trace.stream(side)
+        for size_kb in spec.cache_sizes_kb:
+            for line_size in spec.line_sizes:
+                config = CacheConfig(size_kb * 1024, line_size)
+                for label, factory in spec.structures.items():
+                    augmentation = factory() if factory is not None else None
+                    run = run_level(
+                        addresses, config, augmentation, warmup=spec.warmup
+                    )
+                    stats = run.stats
+                    rows.append(
+                        [
+                            trace.name,
+                            size_kb,
+                            line_size,
+                            label,
+                            round(stats.miss_rate, 4),
+                            round(percent(stats.removed_misses, stats.demand_misses), 1),
+                            round(stats.effective_miss_rate, 4),
+                        ]
+                    )
+    return TableResult(
+        experiment_id=experiment_id,
+        title=f"design-space grid sweep ({side}-side, {spec.num_points} points/trace)",
+        headers=[
+            "trace",
+            "cache KB",
+            "line B",
+            "structure",
+            "miss rate",
+            "% removed",
+            "effective rate",
+        ],
+        rows=rows,
+        notes=["long format: one row per (trace, geometry, structure) simulation"],
+    )

@@ -1,0 +1,69 @@
+"""§5 overlap statistic: victim cache vs. stream buffer orthogonality.
+
+The paper argues the two mechanisms are nearly orthogonal for data
+references: over the suite, only 2.5% of 4KB data-cache misses that hit
+in a four-entry victim cache also hit in a four-way stream buffer — for
+every benchmark except linpack, whose sequential access patterns push
+the overlap to 50% of its victim-cache hits (and even then only 4% of
+linpack's misses hit in the victim cache at all).
+
+The composite augmentation counts, for every miss, how many members
+could have satisfied it; that's exactly the overlap measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..buffers.base import CompositeAugmentation
+from ..buffers.stream_buffer import MultiWayStreamBuffer
+from ..buffers.victim_cache import VictimCache
+from ..common.config import CacheConfig
+from ..common.stats import percent
+from .base import TableResult
+from .runner import run_level
+from .workloads import suite
+
+__all__ = ["run"]
+
+
+def run(traces=None, scale: Optional[int] = None, seed: int = 0) -> TableResult:
+    traces = traces if traces is not None else suite(scale, seed)
+    config = CacheConfig(4096, 16)
+    rows = []
+    for trace in traces:
+        victim = VictimCache(entries=4)
+        stream = MultiWayStreamBuffer(ways=4, entries=4)
+        composite = CompositeAugmentation([victim, stream])
+        run_result = run_level(trace.data_addresses, config, composite)
+        misses = run_result.misses
+        overlap = composite.overlap_hits
+        rows.append(
+            [
+                trace.name,
+                misses,
+                victim.hits,
+                stream.hits,
+                overlap,
+                round(percent(overlap, misses), 2),
+                round(percent(overlap, victim.hits), 1),
+            ]
+        )
+    return TableResult(
+        experiment_id="overlap_5",
+        title="Victim-cache / stream-buffer overlap on data misses (VC4 + 4-way SB)",
+        headers=[
+            "program",
+            "D misses",
+            "VC hits",
+            "SB hits",
+            "both hit",
+            "% of misses",
+            "% of VC hits",
+        ],
+        rows=rows,
+        notes=[
+            "paper: overlap is ~2.5% of misses for ccom/met/yacc/grr/liver;",
+            "linpack's sequential data pushes 50% of its (few) VC hits into the SB too",
+        ],
+    )

@@ -1,0 +1,115 @@
+"""Text plotting: render a FigureResult as an ASCII line chart.
+
+The experiment modules return the numeric series behind each of the
+paper's plots; this renderer draws them in the terminal so the *shape*
+— crossovers, knees, saturation — can be eyeballed the way the paper's
+figures are.  Each series gets a letter; points that share a cell show
+the letter of the series listed first.
+
+Deliberately dependency-free (the project runs offline); not a
+replacement for a real plotting stack, just enough to read a figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .base import FigureResult, Series
+
+__all__ = ["render_ascii_chart", "plot_figure"]
+
+#: Series markers, assigned in order.
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def render_ascii_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Draw the series on a character grid with axes and a legend."""
+    drawable = [s for s in series if len(s.y) > 0]
+    if not drawable:
+        return "(no data)"
+    all_y = [y for s in drawable for y in s.y]
+    y_low = min(0.0, min(all_y))
+    y_high = max(all_y) or 1.0
+    # X positions are ordinal: series are plotted against their index in
+    # the x vector (the experiments use shared, often log-spaced, axes).
+    max_points = max(len(s.y) for s in drawable)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, s in zip(_MARKERS, drawable):
+        previous_row: Optional[int] = None
+        previous_col: Optional[int] = None
+        for i, y in enumerate(s.y):
+            col = _scale(i, 0, max(1, max_points - 1), width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            # Join consecutive points with a sparse vertical run so
+            # steep segments stay readable.
+            if previous_row is not None and previous_col == col - 1:
+                lo, hi = sorted((previous_row, row))
+                for r in range(lo + 1, hi):
+                    if grid[r][col] == " ":
+                        grid[r][col] = "."
+            previous_row, previous_col = row, col
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_high:.1f}"
+    bottom_label = f"{y_low:.1f}"
+    label_width = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    first = drawable[0]
+    lines.append(
+        " " * label_width
+        + f"  x: {first.x[0]} .. {first.x[-1]}"
+        + (f"   y: {ylabel}" if ylabel else "")
+    )
+    for marker, s in zip(_MARKERS, drawable):
+        lines.append(f"  {marker} = {s.label}")
+    return "\n".join(lines)
+
+
+def plot_figure(
+    figure: FigureResult,
+    width: int = 64,
+    height: int = 18,
+    only_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a FigureResult; optionally restrict to some series labels.
+
+    Figures with per-benchmark series (3-3, 3-5, 4-3, 4-5) are busy as
+    charts, so by default only their 'average' series are drawn; pass
+    ``only_labels`` to choose explicitly.
+    """
+    series = figure.series
+    if only_labels is not None:
+        series = [s for s in series if s.label in only_labels]
+    elif any("average" in s.label for s in series):
+        series = [s for s in series if "average" in s.label]
+    return render_ascii_chart(
+        series,
+        width=width,
+        height=height,
+        title=f"{figure.experiment_id}: {figure.title}",
+        ylabel=figure.ylabel,
+    )

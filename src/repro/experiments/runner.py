@@ -1,0 +1,114 @@
+"""Low-level simulation drivers shared by the experiment modules.
+
+Most of the paper's figures treat one cache side (instruction or data)
+in isolation, so the workhorse here is :func:`run_level`: replay one
+side's byte-address stream through a single :class:`CacheLevel`.  The
+full-system experiments (Figures 2-2 and 5-1) use :func:`run_system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..buffers.base import L1Augmentation
+from ..common.config import CacheConfig, SystemConfig
+from ..hierarchy.level import CacheLevel
+from ..hierarchy.system import MemorySystem, SystemResult
+from ..traces.trace import MaterializedTrace
+
+__all__ = ["LevelRun", "run_level", "run_system", "baseline_conflicts"]
+
+
+@dataclass
+class LevelRun:
+    """Everything one single-level replay produces."""
+
+    level: CacheLevel
+
+    @property
+    def stats(self):
+        return self.level.stats
+
+    @property
+    def classifier(self):
+        return self.level.classifier
+
+    @property
+    def augmentation(self):
+        return self.level.augmentation
+
+    @property
+    def misses(self) -> int:
+        return self.level.stats.demand_misses
+
+    @property
+    def removed(self) -> int:
+        return self.level.stats.removed_misses
+
+    @property
+    def conflicts(self) -> int:
+        if self.level.classifier is None:
+            raise ValueError("run_level(..., classify=True) required for conflicts")
+        return self.level.classifier.conflict_misses
+
+
+def run_level(
+    byte_addresses: Sequence[int],
+    config: CacheConfig,
+    augmentation: Optional[L1Augmentation] = None,
+    classify: bool = False,
+    warmup: int = 0,
+) -> LevelRun:
+    """Replay one side's byte-address stream through a cache level.
+
+    With ``warmup > 0`` the first *warmup* references are replayed to
+    warm the cache (and helper structures, and the classifier's shadow)
+    and then the counters are zeroed, so the returned statistics are
+    steady-state.  Compulsory classification still honours the warm-up
+    prefix — a line first touched during warm-up is not compulsory
+    later.
+    """
+    level = CacheLevel(config, augmentation, classify)
+    shift = config.offset_bits
+    access = level.access_line
+    now = 0
+    for address in byte_addresses:
+        access(address >> shift, now)
+        now += 1
+        if warmup and now == warmup:
+            level.reset_stats()
+    return LevelRun(level)
+
+
+def run_system(
+    trace: MaterializedTrace,
+    config: Optional[SystemConfig] = None,
+    iaugmentation: Optional[L1Augmentation] = None,
+    daugmentation: Optional[L1Augmentation] = None,
+    classify: bool = False,
+    prewarm_l2: bool = False,
+) -> SystemResult:
+    """Replay a full trace through the two-level system.
+
+    ``prewarm_l2`` preloads the second-level cache with the trace's
+    footprint first (see :meth:`MemorySystem.prewarm_l2`) — used by the
+    performance experiments, where first-touch L2 misses are a
+    trace-length artifact the paper's 100M-instruction traces amortize.
+    """
+    system = MemorySystem(
+        config,
+        iaugmentation=iaugmentation,
+        daugmentation=daugmentation,
+        classify=classify,
+    )
+    if prewarm_l2:
+        system.prewarm_l2(trace)
+    return system.run(trace)
+
+
+def baseline_conflicts(
+    byte_addresses: Iterable[int], config: CacheConfig
+) -> LevelRun:
+    """Baseline replay with 3C classification (misses + conflict count)."""
+    return run_level(byte_addresses, config, None, classify=True)

@@ -1,0 +1,82 @@
+"""Miss-rate time series: phase behaviour over a trace.
+
+liver runs 14 kernels back to back; real programs move through phases
+the same way, and a single aggregate miss rate hides it.  These helpers
+chop a replay into fixed-size intervals and report the per-interval
+miss (and removal) rate, ready for :func:`repro.experiments.plotting`
+or any external tool.
+
+::
+
+    series = miss_rate_series(trace.data_addresses, CacheConfig(4096, 16))
+    print(render_ascii_chart([series], title="liver, data side"))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..buffers.base import L1Augmentation
+from ..common.config import CacheConfig
+from ..common.errors import ConfigurationError
+from ..common.types import AccessOutcome
+from ..hierarchy.level import CacheLevel
+from .base import Series
+
+__all__ = ["miss_rate_series", "removal_rate_series"]
+
+
+def _interval_outcomes(
+    byte_addresses,
+    config: CacheConfig,
+    augmentation: Optional[L1Augmentation],
+    interval: int,
+) -> List[List[int]]:
+    """Per-interval [accesses, demand misses, removed misses]."""
+    if interval < 1:
+        raise ConfigurationError(f"interval must be >= 1, got {interval}")
+    level = CacheLevel(config, augmentation)
+    shift = config.offset_bits
+    buckets: List[List[int]] = []
+    current = [0, 0, 0]
+    for address in byte_addresses:
+        outcome = level.access_line(address >> shift)
+        current[0] += 1
+        if outcome is not AccessOutcome.HIT:
+            current[1] += 1
+            if outcome.is_removed_miss:
+                current[2] += 1
+        if current[0] == interval:
+            buckets.append(current)
+            current = [0, 0, 0]
+    if current[0]:
+        buckets.append(current)
+    return buckets
+
+
+def miss_rate_series(
+    byte_addresses,
+    config: CacheConfig,
+    augmentation: Optional[L1Augmentation] = None,
+    interval: int = 2000,
+    label: str = "miss rate",
+) -> Series:
+    """Per-interval demand miss rate over the replay."""
+    buckets = _interval_outcomes(byte_addresses, config, augmentation, interval)
+    xs = [i * interval for i in range(len(buckets))]
+    ys = [misses / accesses if accesses else 0.0 for accesses, misses, _ in buckets]
+    return Series(label, xs, ys)
+
+
+def removal_rate_series(
+    byte_addresses,
+    config: CacheConfig,
+    augmentation: L1Augmentation,
+    interval: int = 2000,
+    label: str = "removal rate",
+) -> Series:
+    """Per-interval fraction of demand misses the structure removed."""
+    buckets = _interval_outcomes(byte_addresses, config, augmentation, interval)
+    xs = [i * interval for i in range(len(buckets))]
+    ys = [removed / misses if misses else 0.0 for _, misses, removed in buckets]
+    return Series(label, xs, ys)

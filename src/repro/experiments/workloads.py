@@ -1,0 +1,40 @@
+"""Shared, cached benchmark suite for the experiment modules.
+
+Building and materializing the six traces takes a couple of seconds, so
+experiments share one cached suite per ``(scale, seed)``.  The scale can
+be overridden globally with the ``REPRO_SCALE`` environment variable
+(instructions per unit of Table 2-1 relative length; the default keeps a
+full figure reproduction in the tens of seconds).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..traces.registry import BENCHMARK_NAMES, build_trace
+from ..traces.trace import MaterializedTrace
+
+__all__ = ["suite", "default_scale", "BENCHMARK_NAMES"]
+
+_CACHE: Dict[Tuple[Optional[int], int], List[MaterializedTrace]] = {}
+
+
+def default_scale() -> Optional[int]:
+    """Scale override from ``REPRO_SCALE`` (None = registry default)."""
+    raw = os.environ.get("REPRO_SCALE", "")
+    if not raw:
+        return None
+    return int(raw)
+
+
+def suite(scale: Optional[int] = None, seed: int = 0) -> List[MaterializedTrace]:
+    """The six materialized benchmark traces, cached per (scale, seed)."""
+    if scale is None:
+        scale = default_scale()
+    key = (scale, seed)
+    if key not in _CACHE:
+        _CACHE[key] = [
+            build_trace(name, scale, seed).materialize() for name in BENCHMARK_NAMES
+        ]
+    return _CACHE[key]

@@ -1,0 +1,35 @@
+"""Two-level memory hierarchy simulator and performance model."""
+
+from .bandwidth import (
+    BandwidthPoint,
+    FetchMechanism,
+    PipelinedMemoryInterface,
+    bandwidth_sweep,
+    sequential_fetch_cpi,
+)
+from .level import CacheLevel, LevelStats
+from .performance import SystemPerformance, evaluate_performance
+from .system import L2Stats, MemorySystem, SystemResult
+from .timeline import TimelineResult, TimelineSimulator
+from .write_policy import CoalescingWriteBuffer, WritePolicy, WritePolicyCache, WriteTraffic
+
+__all__ = [
+    "CacheLevel",
+    "LevelStats",
+    "MemorySystem",
+    "SystemResult",
+    "L2Stats",
+    "SystemPerformance",
+    "evaluate_performance",
+    "WritePolicy",
+    "WritePolicyCache",
+    "WriteTraffic",
+    "CoalescingWriteBuffer",
+    "FetchMechanism",
+    "PipelinedMemoryInterface",
+    "BandwidthPoint",
+    "bandwidth_sweep",
+    "sequential_fetch_cpi",
+    "TimelineSimulator",
+    "TimelineResult",
+]

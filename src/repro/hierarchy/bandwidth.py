@@ -1,0 +1,169 @@
+"""Sequential-fetch bandwidth model — §4.1's worked example.
+
+The paper quantifies *why* stream buffers beat tagged prefetch on
+straight-line code: "assume the latency to refill a 16B line on a
+instruction cache miss is 12 cycles [and] a memory interface that is
+pipelined and can accept a new line request every 4 cycles.  A
+four-entry stream buffer can provide 4B instructions at a rate of one
+per cycle by having three requests outstanding at all times ... In that
+case [tagged prefetch] sequential instructions will only be supplied at
+a bandwidth equal to one instruction every three cycles (i.e., 12 cycle
+latency / 4 instructions per line)."
+
+This module reproduces that arithmetic with a small cycle-driven model
+of a CPU consuming a purely sequential instruction stream through one of
+three fetch mechanisms:
+
+* **demand** — fetch a line only when execution reaches it;
+* **tagged** — prefetch the successor when a line's first instruction
+  issues (one prefetch in flight per transition, Smith's scheme);
+* **stream** — a FIFO stream buffer keeping up to ``entries`` requests
+  outstanding on the pipelined interface.
+
+The memory interface accepts one request per ``issue_interval`` cycles
+and completes each ``latency`` cycles after issue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from collections import deque
+
+from ..common.errors import ConfigurationError
+
+__all__ = ["FetchMechanism", "PipelinedMemoryInterface", "sequential_fetch_cpi"]
+
+
+class FetchMechanism(enum.Enum):
+    DEMAND = "demand"
+    TAGGED = "tagged_prefetch"
+    STREAM = "stream_buffer"
+
+
+class PipelinedMemoryInterface:
+    """The §2 pipelined second-level interface: fixed issue rate + latency."""
+
+    def __init__(self, latency: int = 12, issue_interval: int = 4):
+        if latency < 1 or issue_interval < 1:
+            raise ConfigurationError("latency and issue_interval must be >= 1")
+        self.latency = latency
+        self.issue_interval = issue_interval
+        self._next_issue_time = 0
+
+    def request(self, now: int) -> int:
+        """Issue a line request at or after *now*; returns completion time."""
+        issue_time = max(now, self._next_issue_time)
+        self._next_issue_time = issue_time + self.issue_interval
+        return issue_time + self.latency
+
+    def reset(self) -> None:
+        self._next_issue_time = 0
+
+
+def sequential_fetch_cpi(
+    mechanism: FetchMechanism,
+    latency: int = 12,
+    issue_interval: int = 4,
+    instructions_per_line: int = 4,
+    buffer_entries: int = 4,
+    lines: int = 400,
+) -> float:
+    """Cycles per instruction for a purely sequential fetch stream.
+
+    Runs *lines* cache lines through the chosen mechanism and returns
+    steady-state cycles per instruction (the cold first line is
+    excluded so short runs report the asymptote the paper quotes).
+    """
+    if lines < 2:
+        raise ConfigurationError("need at least 2 lines to measure steady state")
+    interface = PipelinedMemoryInterface(latency, issue_interval)
+    #: ready_at[line] = completion time of its (pre)fetch.
+    ready_at = {}
+
+    def fetch(line: int, now: int) -> None:
+        if line not in ready_at:
+            ready_at[line] = interface.request(now)
+
+    now = 0
+    first_line_done: Optional[int] = None
+    # Outstanding stream-buffer slots (line numbers), head first.
+    stream_queue: Deque[int] = deque()
+    next_stream_line = 0
+    for line in range(lines):
+        # Make sure this line has been requested.
+        if mechanism is FetchMechanism.STREAM:
+            # Allocation on the cold miss; afterwards the buffer keeps
+            # itself topped up as entries are consumed.
+            if line not in ready_at and not stream_queue:
+                fetch(line, now)
+                next_stream_line = line + 1
+                while len(stream_queue) < buffer_entries:
+                    fetch(next_stream_line, now)
+                    stream_queue.append(next_stream_line)
+                    next_stream_line += 1
+        else:
+            fetch(line, now)
+        # Wait for the line.
+        now = max(now, ready_at[line])
+        if mechanism is FetchMechanism.STREAM and stream_queue and stream_queue[0] == line:
+            stream_queue.popleft()
+        # Consume the line's instructions, one per cycle; prefetch
+        # triggers fire on the first instruction (the tag transition).
+        if mechanism is FetchMechanism.TAGGED:
+            fetch(line + 1, now)
+        elif mechanism is FetchMechanism.STREAM:
+            while len(stream_queue) < buffer_entries:
+                fetch(next_stream_line, now)
+                stream_queue.append(next_stream_line)
+                next_stream_line += 1
+        now += instructions_per_line
+        if first_line_done is None:
+            first_line_done = now
+    executed = (lines - 1) * instructions_per_line
+    return (now - first_line_done) / executed
+
+
+@dataclass(frozen=True)
+class BandwidthPoint:
+    """One row of the §4.1 bandwidth comparison."""
+
+    latency: int
+    demand_cpi: float
+    tagged_cpi: float
+    stream_cpi: float
+
+
+def bandwidth_sweep(
+    latencies,
+    issue_interval: int = 4,
+    instructions_per_line: int = 4,
+    buffer_entries: int = 4,
+):
+    """CPI of each mechanism across memory latencies."""
+    points = []
+    for latency in latencies:
+        points.append(
+            BandwidthPoint(
+                latency=latency,
+                demand_cpi=sequential_fetch_cpi(
+                    FetchMechanism.DEMAND, latency, issue_interval,
+                    instructions_per_line, buffer_entries,
+                ),
+                tagged_cpi=sequential_fetch_cpi(
+                    FetchMechanism.TAGGED, latency, issue_interval,
+                    instructions_per_line, buffer_entries,
+                ),
+                stream_cpi=sequential_fetch_cpi(
+                    FetchMechanism.STREAM, latency, issue_interval,
+                    instructions_per_line, buffer_entries,
+                ),
+            )
+        )
+    return points
+
+
+__all__.append("BandwidthPoint")
+__all__.append("bandwidth_sweep")

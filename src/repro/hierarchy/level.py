@@ -1,0 +1,135 @@
+"""One level of the cache hierarchy: a direct-mapped array plus helpers.
+
+:class:`CacheLevel` owns a direct-mapped tag store, an optional
+:class:`~repro.buffers.base.L1Augmentation` (miss cache, victim cache,
+stream buffer, or a composite), and an optional 3C miss classifier, and
+drives them in the order the hardware would (probe array → consult
+helpers → refill array → update helpers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..buffers.base import L1Augmentation, NullAugmentation
+from ..caches.direct_mapped import DirectMappedCache
+from ..classify.miss_classifier import MissClassifier
+from ..common.config import CacheConfig
+from ..common.stats import safe_div
+from ..common.types import AccessOutcome
+
+__all__ = ["LevelStats", "CacheLevel"]
+
+
+@dataclass
+class LevelStats:
+    """Access counters for one cache level."""
+
+    accesses: int = 0
+    outcomes: Dict[AccessOutcome, int] = field(
+        default_factory=lambda: {outcome: 0 for outcome in AccessOutcome}
+    )
+    #: Extra stall cycles reported by availability-modelling stream buffers.
+    stream_stall_cycles: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.outcomes[AccessOutcome.HIT]
+
+    @property
+    def demand_misses(self) -> int:
+        """Misses of the direct-mapped array, removed or not.
+
+        This is the paper's "miss rate" numerator: helper-structure hits
+        are misses that were *removed* (made one-cycle), and figures
+        like 3-3 count them as removed misses, not as hits.
+        """
+        return self.accesses - self.hits
+
+    @property
+    def removed_misses(self) -> int:
+        return (
+            self.outcomes[AccessOutcome.MISS_CACHE_HIT]
+            + self.outcomes[AccessOutcome.VICTIM_HIT]
+            + self.outcomes[AccessOutcome.STREAM_HIT]
+        )
+
+    @property
+    def misses_to_next_level(self) -> int:
+        return self.outcomes[AccessOutcome.MISS]
+
+    @property
+    def miss_rate(self) -> float:
+        return safe_div(self.demand_misses, self.accesses)
+
+    @property
+    def effective_miss_rate(self) -> float:
+        """Miss rate counting removed misses as hits (post-helper rate)."""
+        return safe_div(self.misses_to_next_level, self.accesses)
+
+    def record(self, outcome: AccessOutcome) -> None:
+        self.accesses += 1
+        self.outcomes[outcome] += 1
+
+
+class CacheLevel:
+    """A direct-mapped cache level with optional augmentation/classifier."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        augmentation: Optional[L1Augmentation] = None,
+        classify: bool = False,
+        name: str = "L1",
+    ):
+        self.name = name
+        self.config = config
+        self.cache = DirectMappedCache(config)
+        self.augmentation = augmentation if augmentation is not None else NullAugmentation()
+        self.classifier: Optional[MissClassifier] = (
+            MissClassifier(config.num_lines) if classify else None
+        )
+        self.stats = LevelStats()
+        self._line_shift = config.offset_bits
+
+    def access(self, byte_address: int, now: int = 0) -> AccessOutcome:
+        """Access by byte address (computes the line address internally)."""
+        return self.access_line(byte_address >> self._line_shift, now)
+
+    def access_line(self, line_addr: int, now: int = 0) -> AccessOutcome:
+        """Access by line address; returns where the access was satisfied."""
+        hit = self.cache.access(line_addr)
+        if self.classifier is not None:
+            self.classifier.observe(line_addr, hit)
+        if hit:
+            self.augmentation.on_l1_hit(line_addr, now)
+            self.stats.record(AccessOutcome.HIT)
+            return AccessOutcome.HIT
+        lookup = self.augmentation.lookup_on_miss(line_addr, now)
+        victim = self.cache.fill(line_addr)
+        self.augmentation.on_l1_fill(line_addr, victim, now)
+        outcome = lookup.outcome if lookup.satisfied else AccessOutcome.MISS
+        self.stats.record(outcome)
+        self.stats.stream_stall_cycles += lookup.stall_cycles
+        return outcome
+
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping all cache/helper state.
+
+        The steady-state pattern: replay a warm-up prefix, call this,
+        then measure the remainder without cold-start effects.
+        """
+        self.stats = LevelStats()
+        if self.classifier is not None:
+            self.classifier.reset_counts()
+
+    def reset(self) -> None:
+        self.cache.clear()
+        self.augmentation.reset()
+        if self.classifier is not None:
+            self.classifier.reset()
+        self.stats = LevelStats()
+
+    def line_of(self, byte_address: int) -> int:
+        return byte_address >> self._line_shift

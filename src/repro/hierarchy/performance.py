@@ -1,0 +1,102 @@
+"""System performance model (paper §2 Figure 2-2 and §5 Figure 5-1).
+
+The paper expresses everything in *instruction times*: the machine would
+retire one instruction per time unit if the memory hierarchy were
+perfect, so total execution time is
+
+    instructions
+  + 24 x (L1 misses serviced by the L2)
+  +  1 x (L1 misses removed by a miss cache / victim cache / stream buffer)
+  + 320 x (demand L2 misses)
+  + stream-buffer availability stalls (when modelled)
+
+and "performance" is the fraction of the peak (1,000 MIPS in the paper)
+actually achieved: ``instructions / total_time``.  Figure 2-2 plots the
+complement — where the lost time went — which
+:meth:`SystemPerformance.loss_breakdown` reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..common.config import TimingConfig
+from ..common.stats import safe_div
+from .system import SystemResult
+
+__all__ = ["SystemPerformance", "evaluate_performance"]
+
+
+@dataclass(frozen=True)
+class SystemPerformance:
+    """Execution-time decomposition of one simulated run."""
+
+    instructions: int
+    #: Instruction times lost to L1 instruction misses serviced by L2.
+    l1i_miss_time: int
+    #: Instruction times lost to L1 data misses serviced by L2.
+    l1d_miss_time: int
+    #: Instruction times lost to demand second-level misses.
+    l2_miss_time: int
+    #: One-cycle reloads from miss/victim caches and stream buffers.
+    removed_miss_time: int
+    #: Stream-buffer not-ready stalls (zero unless availability modelled).
+    stall_time: int
+
+    @property
+    def total_time(self) -> int:
+        return (
+            self.instructions
+            + self.l1i_miss_time
+            + self.l1d_miss_time
+            + self.l2_miss_time
+            + self.removed_miss_time
+            + self.stall_time
+        )
+
+    @property
+    def memory_time(self) -> int:
+        return self.total_time - self.instructions
+
+    @property
+    def percent_of_potential(self) -> float:
+        """Fraction of peak performance achieved, as a percentage."""
+        return 100.0 * safe_div(self.instructions, self.total_time, default=1.0)
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        return safe_div(self.total_time, self.instructions, default=1.0)
+
+    def speedup_over(self, other: "SystemPerformance") -> float:
+        """Execution-time ratio ``other / self`` (>1 means self is faster).
+
+        Figure 5-1's "143% average performance improvement" is the mean
+        over benchmarks of ``100 * (speedup - 1)``.
+        """
+        return safe_div(other.total_time, self.total_time, default=1.0)
+
+    def loss_breakdown(self) -> Dict[str, float]:
+        """Percent of potential performance lost to each cause (Fig 2-2)."""
+        total = self.total_time
+        return {
+            "achieved": 100.0 * safe_div(self.instructions, total, default=1.0),
+            "l1i_misses": 100.0 * safe_div(self.l1i_miss_time, total),
+            "l1d_misses": 100.0 * safe_div(self.l1d_miss_time, total),
+            "l2_misses": 100.0 * safe_div(self.l2_miss_time, total),
+            "removed_misses": 100.0 * safe_div(self.removed_miss_time, total),
+            "stalls": 100.0 * safe_div(self.stall_time, total),
+        }
+
+
+def evaluate_performance(result: SystemResult, timing: TimingConfig) -> SystemPerformance:
+    """Apply the instruction-time cost model to a simulation result."""
+    removed = result.istats.removed_misses + result.dstats.removed_misses
+    return SystemPerformance(
+        instructions=result.instructions,
+        l1i_miss_time=timing.l1_miss_penalty * result.istats.misses_to_next_level,
+        l1d_miss_time=timing.l1_miss_penalty * result.dstats.misses_to_next_level,
+        l2_miss_time=timing.l2_miss_penalty * result.l2stats.demand_misses,
+        removed_miss_time=timing.removed_miss_penalty * removed,
+        stall_time=result.istats.stream_stall_cycles + result.dstats.stream_stall_cycles,
+    )

@@ -1,0 +1,139 @@
+"""Cycle-approximate timeline simulation.
+
+The aggregate model (:mod:`repro.hierarchy.performance`) charges every
+removed miss exactly one cycle — the paper's assumption.  That is only
+true when the stream buffer's head has actually *returned* from the
+pipelined second level by the time it is demanded (§4.1 is explicit
+that it may not have).  The timeline simulator replays a trace with a
+real cycle clock: instruction issue advances it, miss penalties advance
+it, and stream buffers built with ``model_availability=True`` report
+not-ready stalls against it.
+
+Comparing the two models per benchmark
+(:mod:`repro.experiments.ext_timing_fidelity`) quantifies how much the
+one-cycle assumption flatters the results — the honest answer to "is a
+stream-buffer hit really free?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..buffers.base import L1Augmentation
+from ..caches.direct_mapped import DirectMappedCache
+from ..common.config import SystemConfig, baseline_system
+from ..common.stats import safe_div
+from ..common.types import AccessKind, AccessOutcome
+from .level import CacheLevel
+
+__all__ = ["TimelineResult", "TimelineSimulator"]
+
+
+@dataclass
+class TimelineResult:
+    """Cycle accounting from one timeline replay."""
+
+    instructions: int = 0
+    data_references: int = 0
+    cycles: int = 0
+    #: Cycles spent on full L1 miss penalties.
+    l1_penalty_cycles: int = 0
+    #: Additional cycles on demand L2 misses.
+    l2_penalty_cycles: int = 0
+    #: One-cycle reloads of removed misses.
+    removed_miss_cycles: int = 0
+    #: Not-yet-returned stream-buffer head stalls (the honest part).
+    availability_stall_cycles: int = 0
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        return safe_div(self.cycles, self.instructions, default=1.0)
+
+    @property
+    def percent_of_potential(self) -> float:
+        return 100.0 * safe_div(self.instructions, self.cycles, default=1.0)
+
+
+class TimelineSimulator:
+    """Replay a trace against a real cycle clock.
+
+    The clock advances one cycle per issued instruction, plus the
+    memory-system penalties of the access that instruction (or its data
+    reference) makes.  Stream buffers attached to either side should be
+    constructed with ``model_availability=True`` so their prefetch
+    completion times are measured against this clock; the simulator
+    works with any augmentation either way.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        iaugmentation: Optional[L1Augmentation] = None,
+        daugmentation: Optional[L1Augmentation] = None,
+    ):
+        self.config = config if config is not None else baseline_system()
+        self.ilevel = CacheLevel(self.config.icache, iaugmentation, name="L1I")
+        self.dlevel = CacheLevel(self.config.dcache, daugmentation, name="L1D")
+        self.l2 = DirectMappedCache(self.config.l2)
+        self._ishift = self.config.icache.offset_bits
+        self._dshift = self.config.dcache.offset_bits
+        self._l2_shift = self.config.l2.offset_bits
+        self.result = TimelineResult()
+        self.now = 0
+        # Stream-buffer prefetches ride the pipelined interface without
+        # stalling the CPU, but they do fill the L2 — mirror the
+        # MemorySystem wiring (including the drain-after-demand order)
+        # so the two models see identical L2 contents.
+        self._pending_prefetches: list = []
+        self._wire_prefetch_sinks(iaugmentation, self._ishift)
+        self._wire_prefetch_sinks(daugmentation, self._dshift)
+
+    def _wire_prefetch_sinks(self, augmentation: Optional[L1Augmentation], l1_shift: int) -> None:
+        from .system import MemorySystem
+
+        shift_to_l2 = self._l2_shift - l1_shift
+
+        def sink(l1_line: int) -> None:
+            self._pending_prefetches.append(l1_line >> shift_to_l2)
+
+        for buffer in MemorySystem._stream_buffers(augmentation):
+            if buffer.fetch_sink is None:
+                buffer.fetch_sink = sink
+
+    def prewarm_l2(self, trace: Iterable[Tuple[int, int]]) -> None:
+        """Preload the L2 footprint (see MemorySystem.prewarm_l2)."""
+        for _, byte_address in trace:
+            self.l2.access_and_fill(byte_address >> self._l2_shift)
+
+    def run(self, trace: Iterable[Tuple[int, int]]) -> TimelineResult:
+        timing = self.config.timing
+        result = self.result
+        for kind, byte_address in trace:
+            if kind == AccessKind.IFETCH:
+                result.instructions += 1
+                self.now += 1
+                level, shift = self.ilevel, self._ishift
+            else:
+                result.data_references += 1
+                level, shift = self.dlevel, self._dshift
+            stalls_before = level.stats.stream_stall_cycles
+            outcome = level.access_line(byte_address >> shift, self.now)
+            if outcome is AccessOutcome.MISS:
+                penalty = timing.l1_miss_penalty
+                result.l1_penalty_cycles += penalty
+                if not self.l2.access_and_fill(byte_address >> self._l2_shift):
+                    result.l2_penalty_cycles += timing.l2_miss_penalty
+                    penalty += timing.l2_miss_penalty
+                self.now += penalty
+            elif outcome.is_removed_miss:
+                stall = level.stats.stream_stall_cycles - stalls_before
+                result.removed_miss_cycles += timing.removed_miss_penalty
+                result.availability_stall_cycles += stall
+                self.now += timing.removed_miss_penalty + stall
+            if self._pending_prefetches:
+                for l2_line in self._pending_prefetches:
+                    self.l2.access_and_fill(l2_line)
+                self._pending_prefetches.clear()
+        result.cycles = self.now
+        return result

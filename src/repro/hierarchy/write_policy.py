@@ -1,0 +1,187 @@
+"""Write-policy modelling — the tradeoff the paper defers in §2.
+
+"The data cache may be either write-through or write-back, but this
+paper does not examine those tradeoffs."  The baseline discussion does
+lean on it, though: §2's bandwidth argument ("stores typically occur at
+an average rate of 1 in every 6 or 7 instructions, [so] an unpipelined
+external cache would not have even enough bandwidth to handle the store
+traffic") assumes a write-through L1 with a write buffer.  This module
+makes both policies measurable:
+
+* **write-through, no-write-allocate** — every store is sent below;
+  a small FIFO *write buffer* coalesces stores to lines it already
+  holds, which is what keeps §2's store bandwidth plausible.
+* **write-back, write-allocate** — stores dirty the line; dirty victims
+  cost one line-sized write-back transfer when evicted.
+
+The simulator reports transaction and byte traffic to the next level so
+the two policies can be compared per workload
+(:mod:`repro.experiments.ext_write_policy`).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..caches.direct_mapped import DirectMappedCache
+from ..common.config import CacheConfig
+from ..common.errors import ConfigurationError
+from ..common.stats import safe_div
+from ..common.types import AccessKind
+
+__all__ = ["WritePolicy", "WriteTraffic", "CoalescingWriteBuffer", "WritePolicyCache"]
+
+#: Size of one store on the processor side, in bytes.
+_WORD_BYTES = 4
+
+
+class WritePolicy(enum.Enum):
+    WRITE_THROUGH = "write_through"
+    WRITE_BACK = "write_back"
+
+
+@dataclass
+class WriteTraffic:
+    """Traffic to the next level, split by cause."""
+
+    accesses: int = 0
+    loads: int = 0
+    stores: int = 0
+    misses: int = 0
+    #: Line fills from below (demand misses that allocate).
+    fills: int = 0
+    #: Dirty lines written back on eviction (write-back policy).
+    writebacks: int = 0
+    #: Write-buffer entries retired to the next level (write-through).
+    buffer_drains: int = 0
+    #: Stores merged into an existing write-buffer entry.
+    coalesced_stores: int = 0
+
+    def bytes_to_next_level(self, line_size: int) -> int:
+        """Total bytes moved to/from the next level."""
+        fill_bytes = self.fills * line_size
+        writeback_bytes = self.writebacks * line_size
+        # A drained buffer entry carries at most a line; counting a full
+        # line is the conservative (bandwidth-pessimal) accounting.
+        drain_bytes = self.buffer_drains * line_size
+        return fill_bytes + writeback_bytes + drain_bytes
+
+    @property
+    def miss_rate(self) -> float:
+        return safe_div(self.misses, self.accesses)
+
+
+class CoalescingWriteBuffer:
+    """A small FIFO of line addresses absorbing write-through stores.
+
+    A store whose line is already buffered coalesces (no new traffic);
+    otherwise it allocates an entry, retiring the oldest entry to the
+    next level when full.  ``flush()`` retires everything.
+    """
+
+    def __init__(self, entries: int = 4):
+        if entries < 1:
+            raise ConfigurationError(f"entries must be >= 1, got {entries}")
+        self.entries = entries
+        self._lines: "OrderedDict[int, None]" = OrderedDict()
+        self.drains = 0
+        self.coalesced = 0
+
+    def write(self, line_addr: int) -> None:
+        if line_addr in self._lines:
+            self.coalesced += 1
+            return
+        if len(self._lines) >= self.entries:
+            self._lines.popitem(last=False)
+            self.drains += 1
+        self._lines[line_addr] = None
+
+    def flush(self) -> None:
+        self.drains += len(self._lines)
+        self._lines.clear()
+
+    def occupancy(self) -> int:
+        return len(self._lines)
+
+
+class WritePolicyCache:
+    """A direct-mapped data cache under an explicit write policy."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: WritePolicy,
+        write_buffer_entries: int = 4,
+    ):
+        self.config = config
+        self.policy = policy
+        self.cache = DirectMappedCache(config)
+        self._dirty: List[bool] = [False] * config.num_lines
+        self.write_buffer: Optional[CoalescingWriteBuffer] = (
+            CoalescingWriteBuffer(write_buffer_entries)
+            if policy is WritePolicy.WRITE_THROUGH
+            else None
+        )
+        self.traffic = WriteTraffic()
+        self._shift = config.offset_bits
+
+    def access(self, kind: AccessKind, byte_address: int) -> bool:
+        """One data reference; returns True on a cache hit."""
+        if kind == AccessKind.IFETCH:
+            raise ValueError("WritePolicyCache models the data cache only")
+        line = byte_address >> self._shift
+        is_store = kind == AccessKind.STORE
+        self.traffic.accesses += 1
+        if is_store:
+            self.traffic.stores += 1
+        else:
+            self.traffic.loads += 1
+        hit = self.cache.access(line)
+        if self.policy is WritePolicy.WRITE_THROUGH:
+            return self._access_write_through(line, is_store, hit)
+        return self._access_write_back(line, is_store, hit)
+
+    def _access_write_through(self, line: int, is_store: bool, hit: bool) -> bool:
+        if is_store:
+            # Every store goes below, through the write buffer.
+            self.write_buffer.write(line)
+        if hit:
+            return True
+        self.traffic.misses += 1
+        if not is_store:
+            # No-write-allocate: only load misses fill the cache.
+            self.traffic.fills += 1
+            self.cache.fill(line)
+        return False
+
+    def _access_write_back(self, line: int, is_store: bool, hit: bool) -> bool:
+        index = self.cache.index_of(line)
+        if hit:
+            if is_store:
+                self._dirty[index] = True
+            return True
+        self.traffic.misses += 1
+        self.traffic.fills += 1
+        victim = self.cache.fill(line)
+        if victim is not None and self._dirty[index]:
+            self.traffic.writebacks += 1
+        self._dirty[index] = is_store
+        return False
+
+    def finish(self) -> WriteTraffic:
+        """Drain buffers / count dirty residue and return the totals.
+
+        Dirty lines still resident at the end of the run are counted as
+        write-backs (they must reach memory eventually); the write
+        buffer is flushed.  Call once, after the last access.
+        """
+        if self.write_buffer is not None:
+            self.write_buffer.flush()
+            self.traffic.buffer_drains = self.write_buffer.drains
+            self.traffic.coalesced_stores = self.write_buffer.coalesced
+        else:
+            self.traffic.writebacks += sum(self._dirty)
+        return self.traffic

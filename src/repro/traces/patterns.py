@@ -1,0 +1,496 @@
+"""Reference-pattern building blocks for the synthetic workloads.
+
+The paper's traces are proprietary DEC WRL recordings, so the six
+benchmarks are reproduced as *synthetic programs* assembled from the
+access-pattern classes the paper itself analyses:
+
+* instruction streams: straight-line runs, tight loops, and a
+  procedure-call fabric (the paper explains instruction conflict misses
+  via procedure call overlap, §3.1, and instruction stream-buffer wins
+  via long sequential procedure bodies, §4.4);
+* data streams: unit-stride sweeps (linpack's saxpy, §4.1), interleaved
+  multi-array streams (liver, §4.2), tightly alternating conflicting
+  references (the character-string comparison of §3.1), random
+  working-set references, pointer chases, and stack traffic.
+
+All generators are infinite unless documented otherwise; the phase
+interleaver (:func:`interleave_phase`) draws as many references as a
+phase needs.  Everything is driven by an explicit ``random.Random`` so
+traces are exactly reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..common.types import AccessKind
+
+__all__ = [
+    "straight_code",
+    "loop_code",
+    "loop_calling_helper",
+    "alternate_code",
+    "ProcedureFabric",
+    "stride_stream",
+    "interleaved_streams",
+    "string_compare",
+    "conflicting_streams",
+    "random_working_set",
+    "pointer_chase",
+    "stack_traffic",
+    "bursty",
+    "mix",
+    "Phase",
+    "run_phases",
+]
+
+Pair = Tuple[int, int]
+
+_IFETCH = int(AccessKind.IFETCH)
+_LOAD = int(AccessKind.LOAD)
+_STORE = int(AccessKind.STORE)
+
+
+# ---------------------------------------------------------------------------
+# instruction-stream building blocks
+# ---------------------------------------------------------------------------
+
+def straight_code(base: int, count: int, instr_size: int = 4) -> Iterator[int]:
+    """A finite straight-line run of *count* instruction addresses."""
+    return iter(range(base, base + count * instr_size, instr_size))
+
+
+def loop_code(base: int, body_instrs: int, instr_size: int = 4) -> Iterator[int]:
+    """An infinite tight loop over *body_instrs* instructions.
+
+    This is the instruction stream of linpack and the Livermore loops:
+    a body small enough to live in any first-level I-cache, hence the
+    0.000 instruction miss rates in Table 2-2.
+    """
+    body = range(base, base + body_instrs * instr_size, instr_size)
+    return itertools.cycle(body)
+
+
+@dataclass(frozen=True)
+class _Procedure:
+    base: int
+    instrs: int
+
+
+class ProcedureFabric:
+    """Infinite instruction stream from a synthetic call graph.
+
+    Procedures of geometrically distributed length are scattered across a
+    *code_span*-byte text segment.  Execution walks the current procedure
+    sequentially; each instruction may call another procedure
+    (probability *call_prob*, biased toward a hot subset), may loop back
+    within the body (*loop_prob*, looping *loop_iters* times on average),
+    and returns to its caller at the end of the body.  Footprints larger
+    than the I-cache produce capacity misses; call targets that overlap
+    the caller modulo the cache size produce exactly the conflict misses
+    §3.1 describes.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        num_procedures: int = 64,
+        mean_proc_instrs: int = 96,
+        code_span: int = 64 * 1024,
+        call_prob: float = 0.02,
+        loop_prob: float = 0.01,
+        loop_iters: int = 8,
+        hot_count: int = 8,
+        hot_bias: float = 0.7,
+        hot_aligned: int = 0,
+        skip_prob: float = 0.0,
+        skip_max: int = 8,
+        layout: str = "scattered",
+        code_base: int = 0,
+        max_depth: int = 24,
+        instr_size: int = 4,
+    ):
+        if num_procedures < 1:
+            raise ValueError("num_procedures must be >= 1")
+        if layout not in ("scattered", "packed"):
+            raise ValueError(f"layout must be 'scattered' or 'packed', got {layout!r}")
+        self._rng = rng
+        self._instr_size = instr_size
+        self._call_prob = call_prob
+        self._loop_prob = loop_prob
+        self._loop_iters = loop_iters
+        self._hot_bias = hot_bias
+        self._skip_prob = skip_prob
+        self._skip_max = max(2, skip_max)
+        self._max_depth = max_depth
+        self.procedures: List[_Procedure] = []
+        # "packed" lays procedures out back to back the way a linker
+        # does, so the text footprint is exactly the sum of the bodies;
+        # "scattered" places them at random bases within *code_span*
+        # (bodies may share bytes), modelling a sparse sampled footprint.
+        next_packed_base = code_base
+        for _ in range(num_procedures):
+            length = max(8, int(rng.expovariate(1.0 / mean_proc_instrs)))
+            if layout == "packed":
+                base = next_packed_base
+                next_packed_base += (length + 4) * instr_size
+            else:
+                base = code_base + rng.randrange(0, max(instr_size, code_span - length * instr_size))
+                base -= base % instr_size
+            self.procedures.append(_Procedure(base, length))
+        # The hot subset is the *active* working set: keeping it small
+        # enough to fit a 4KB fully-associative shadow while its members
+        # collide modulo the cache size is what turns call alternation
+        # into conflict (rather than capacity) instruction misses.
+        self._hot = self.procedures[: max(1, min(hot_count, num_procedures))]
+        if hot_aligned:
+            # Rebase the first *hot_aligned* hot procedures to the same
+            # offset within distinct 4KB frames, so a called procedure
+            # "may map anywhere with respect to the calling procedure,
+            # possibly resulting in a large overlap" (§3.1): here the
+            # overlap is certain, giving the widely spaced instruction
+            # conflict misses the paper describes.
+            frames = max(hot_aligned, code_span // 4096)
+            chosen = rng.sample(range(frames), min(hot_aligned, len(self._hot)))
+            realigned = []
+            for frame, proc in zip(chosen, self._hot):
+                base = code_base + frame * 4096 + rng.randrange(32) * instr_size
+                realigned.append(_Procedure(base, proc.instrs))
+            self._hot[: len(realigned)] = realigned
+            self.procedures[: len(realigned)] = realigned
+
+    def _pick_callee(self) -> _Procedure:
+        pool = self._hot if self._rng.random() < self._hot_bias else self.procedures
+        return self._rng.choice(pool)
+
+    def __iter__(self) -> Iterator[int]:
+        rng = self._rng
+        isize = self._instr_size
+        stack: List[Tuple[_Procedure, int]] = []
+        proc = self._pick_callee()
+        offset = 0
+        # (start, end, remaining_iterations) of the innermost active loop;
+        # the backward branch lives at *end* and jumps back to *start*.
+        loop: Optional[Tuple[int, int, int]] = None
+        while True:
+            yield proc.base + offset * isize
+            roll = rng.random()
+            if roll < self._call_prob and len(stack) < self._max_depth:
+                stack.append((proc, min(offset + 1, proc.instrs - 1)))
+                proc = self._pick_callee()
+                offset = 0
+                loop = None
+                continue
+            if (
+                loop is None
+                and self._call_prob <= roll < self._call_prob + self._loop_prob
+                and offset > 4
+            ):
+                start = rng.randrange(max(0, offset - 32), offset)
+                iterations = 1 + rng.randrange(self._loop_iters * 2)
+                loop = (start, offset, iterations)
+            if loop is not None and offset >= loop[1]:
+                start, end, remaining = loop
+                remaining -= 1
+                if remaining > 0:
+                    loop = (start, end, remaining)
+                    offset = start
+                    continue
+                loop = None
+            offset += 1
+            if self._skip_prob and rng.random() < self._skip_prob:
+                # A taken forward branch: skips a few instructions,
+                # breaking the purely sequential fetch pattern the way
+                # real control flow does (bounds Figure 4-3's I-side).
+                offset += rng.randrange(2, self._skip_max)
+            if offset >= proc.instrs:
+                if stack:
+                    proc, offset = stack.pop()
+                else:
+                    proc = self._pick_callee()
+                    offset = 0
+                loop = None
+
+
+def loop_calling_helper(
+    loop_base: int,
+    helper_base: int,
+    loop_instrs: int = 40,
+    helper_instrs: int = 24,
+    instr_size: int = 4,
+) -> Iterator[int]:
+    """§3.2's victim-cache showcase: an inner loop calling a procedure
+    that conflicts with the loop body.
+
+    Each iteration runs the first half of the loop, calls the helper,
+    then finishes the loop.  When ``helper_base`` is congruent to
+    ``loop_base`` modulo the cache size, the overlapping lines trade
+    places every iteration: a miss cache (loaded with the requested
+    line) thrashes, while a victim cache captures the alternation —
+    "the number of conflicts in the loop that can be captured is
+    doubled" because one set of lines lives in the cache and the other
+    in the victim cache.
+    """
+    call_site = loop_instrs // 2
+    first_half = range(loop_base, loop_base + call_site * instr_size, instr_size)
+    second_half = range(
+        loop_base + call_site * instr_size, loop_base + loop_instrs * instr_size, instr_size
+    )
+    helper = range(helper_base, helper_base + helper_instrs * instr_size, instr_size)
+    while True:
+        yield from first_half
+        yield from helper
+        yield from second_half
+
+
+def alternate_code(
+    rng: random.Random,
+    primary: Iterable[int],
+    secondary: Iterable[int],
+    mean_primary_run: int,
+    mean_secondary_run: int,
+) -> Iterator[int]:
+    """Alternate between two code streams in geometric-length runs.
+
+    Code cannot be mixed per-instruction the way data can — fetch runs
+    must stay coherent — so phases of the two streams alternate, e.g. a
+    parser's table-walking inner loop interspersed with excursions into
+    the procedure fabric.
+    """
+    primary_iter = iter(primary)
+    secondary_iter = iter(secondary)
+    while True:
+        for _ in range(1 + int(rng.expovariate(1.0 / mean_primary_run))):
+            yield next(primary_iter)
+        for _ in range(1 + int(rng.expovariate(1.0 / mean_secondary_run))):
+            yield next(secondary_iter)
+
+
+# ---------------------------------------------------------------------------
+# data-stream building blocks
+# ---------------------------------------------------------------------------
+
+def stride_stream(base: int, extent_bytes: int, stride: int, offset: int = 0) -> Iterator[int]:
+    """Infinite unit-or-larger-stride sweep over ``[base, base+extent)``.
+
+    Wraps around at the end of the extent — the repeated passes over a
+    matrix that let linpack stream the whole array through the cache on
+    every iteration (§4.1).
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    position = offset % extent_bytes
+    while True:
+        yield base + position
+        position += stride
+        if position >= extent_bytes:
+            position -= extent_bytes
+
+
+def interleaved_streams(streams: Sequence[Iterator[int]]) -> Iterator[int]:
+    """Round-robin interleave of several address streams (§4.2's pattern)."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    iterators = [iter(s) for s in streams]
+    for iterator in itertools.cycle(iterators):
+        yield next(iterator)
+
+
+def string_compare(
+    base_a: int,
+    base_b: int,
+    length_bytes: int,
+    element: int = 1,
+) -> Iterator[int]:
+    """The §3.1 worst case: two strings compared byte by byte.
+
+    If the comparison points map to the same cache line, the alternating
+    references miss on every access in a direct-mapped cache, and a
+    two-entry miss cache (or one-entry victim cache) removes all of them.
+    The stream restarts from the string heads when it reaches the end.
+    """
+    while True:
+        for offset in range(0, length_bytes, element):
+            yield base_a + offset
+            yield base_b + offset
+
+
+def conflicting_streams(
+    bases: Sequence[int],
+    extent_bytes: int,
+    stride: int,
+) -> Iterator[int]:
+    """Several arrays walked in lockstep at the same offset.
+
+    When the bases are congruent modulo the cache size every access set
+    collides in the same line — the tight clustered conflicts that make
+    *met* the biggest miss-cache winner in Figure 3-3.
+    """
+    if not bases:
+        raise ValueError("need at least one base")
+    offset = 0
+    while True:
+        for base in bases:
+            yield base + offset
+        offset += stride
+        if offset >= extent_bytes:
+            offset = 0
+
+
+def random_working_set(
+    rng: random.Random,
+    base: int,
+    working_set_bytes: int,
+    granule: int = 4,
+) -> Iterator[int]:
+    """Uniform random references within a working set (capacity traffic)."""
+    slots = max(1, working_set_bytes // granule)
+    while True:
+        yield base + rng.randrange(slots) * granule
+
+
+def pointer_chase(
+    rng: random.Random,
+    base: int,
+    num_nodes: int,
+    node_size: int = 32,
+    fields_per_visit: int = 2,
+) -> Iterator[int]:
+    """Walk a randomly linked cyclic structure, touching a few fields.
+
+    Models the pointer-heavy symbol-table and IR traversals of a C
+    compiler: poor spatial locality, working set set by *num_nodes*.
+    """
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    while True:
+        for node in order:
+            node_base = base + node * node_size
+            for field in range(fields_per_visit):
+                yield node_base + (field * 8) % node_size
+
+
+def stack_traffic(
+    rng: random.Random,
+    base: int,
+    frame_bytes: int = 96,
+    depth_frames: int = 16,
+    granule: int = 4,
+) -> Iterator[int]:
+    """References near a randomly wandering stack pointer.
+
+    High locality: the hot frames fit comfortably in the cache, diluting
+    the miss rate the way real programs' stack traffic does.
+    """
+    depth = depth_frames // 2
+    while True:
+        move = rng.random()
+        if move < 0.15 and depth < depth_frames - 1:
+            depth += 1
+        elif move < 0.30 and depth > 0:
+            depth -= 1
+        frame_base = base + depth * frame_bytes
+        yield frame_base + rng.randrange(frame_bytes // granule) * granule
+
+
+def bursty(
+    rng: random.Random,
+    background: Iterable[int],
+    burst_region_base: int,
+    burst_region_bytes: int,
+    burst_prob: float,
+    burst_bytes: int = 512,
+    stride: int = 4,
+) -> Iterator[int]:
+    """Background traffic with occasional uninterrupted sequential bursts.
+
+    Models block operations (structure copies, buffer clears, bcopy)
+    that punctuate scalar code: each burst is a contiguous unit-stride
+    run through a fresh slice of a large region, which is exactly the
+    widely-spaced sequential miss pattern a *single* stream buffer can
+    follow (§4.1) — unlike the interleaved streams of numeric code.
+
+    *burst_prob* is the per-reference probability of starting a burst of
+    ``burst_bytes / stride`` consecutive references.
+    """
+    background_iter = iter(background)
+    cursor = 0
+    while True:
+        if rng.random() < burst_prob:
+            for offset in range(0, burst_bytes, stride):
+                yield burst_region_base + (cursor + offset) % burst_region_bytes
+            cursor = (cursor + burst_bytes) % burst_region_bytes
+        else:
+            yield next(background_iter)
+
+
+def mix(
+    rng: random.Random,
+    streams: Sequence[Iterator[int]],
+    weights: Sequence[float],
+) -> Iterator[int]:
+    """Choose the next reference from one of *streams* by weight."""
+    if len(streams) != len(weights) or not streams:
+        raise ValueError("streams and weights must be non-empty and equal length")
+    iterators = [iter(s) for s in streams]
+    cumulative: List[float] = []
+    total = 0.0
+    for weight in weights:
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        total += weight
+        cumulative.append(total)
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    while True:
+        roll = rng.random() * total
+        for iterator, bound in zip(iterators, cumulative):
+            if roll < bound:
+                yield next(iterator)
+                break
+
+
+# ---------------------------------------------------------------------------
+# phase interleaving
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Phase:
+    """One program phase: a code stream, a data stream, and mix ratios."""
+
+    name: str
+    instructions: int
+    code: Iterable[int]
+    data: Iterable[int]
+    #: Average data references issued per instruction (Table 2-1 ratio).
+    data_per_instr: float
+    #: Fraction of data references that are stores.
+    store_fraction: float = 0.3
+
+
+def interleave_phase(phase: Phase, rng: random.Random) -> Iterator[Pair]:
+    """Merge a phase's code and data streams into one access sequence.
+
+    Data references are paced by a deterministic credit accumulator so
+    the Table 2-1 data/instruction ratio is hit exactly; only the
+    load/store choice consumes randomness.
+    """
+    code = iter(phase.code)
+    data = iter(phase.data)
+    credit = 0.0
+    for _ in range(phase.instructions):
+        yield (_IFETCH, next(code))
+        credit += phase.data_per_instr
+        while credit >= 1.0:
+            credit -= 1.0
+            kind = _STORE if rng.random() < phase.store_fraction else _LOAD
+            yield (kind, next(data))
+
+
+def run_phases(phases: Sequence[Phase], rng: random.Random) -> Iterator[Pair]:
+    """Run phases back to back (a whole synthetic program execution)."""
+    for phase in phases:
+        yield from interleave_phase(phase, rng)

@@ -1,0 +1,12 @@
+"""Synthetic reproductions of the paper's six benchmark traces.
+
+The original traces are proprietary DEC WRL recordings; each module here
+builds a deterministic synthetic equivalent from the access-pattern
+classes the paper describes.  See DESIGN.md §2 for the substitution
+rationale and the per-benchmark docstrings for the modelling choices.
+"""
+
+from . import ccom, custom, grr, linpack, liver, matcol, met, yacc
+from .custom import CustomWorkload
+
+__all__ = ["ccom", "custom", "CustomWorkload", "grr", "linpack", "liver", "matcol", "met", "yacc"]

@@ -1,0 +1,115 @@
+"""Synthetic *grr* — PC board CAD router (Table 2-1).
+
+grr sits in the middle of every figure: moderate instruction (0.061) and
+data (0.062) miss rates, and an *above-average* data conflict-miss
+percentage — Figure 3-1 pairs it with yacc, and §3.1 notes the miss
+cache "helps these programs significantly".  A router alternates between
+a routing grid (working set larger than the cache, swept in runs) and
+per-net data structures, several of which collide in the cache because
+they are allocated at similar page offsets.
+
+Model: a mid-sized procedure fabric for code; data mixing grid sweeps,
+lock-step references to conflicting per-net arrays, random probes of a
+net table, and stack traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..patterns import (
+    Phase,
+    ProcedureFabric,
+    bursty,
+    conflicting_streams,
+    mix,
+    random_working_set,
+    run_phases,
+    stack_traffic,
+    stride_stream,
+)
+from ..trace import Trace, TraceMeta
+
+__all__ = ["build", "PROGRAM_TYPE", "DATA_PER_INSTR"]
+
+PROGRAM_TYPE = "PC board CAD"
+#: Table 2-1: 59.2M data refs / 134.2M instructions.
+DATA_PER_INSTR = 0.441
+
+_CODE_SPAN = 128 * 1024
+# Distinct mod-4KB offsets per region; only the per-net pair conflicts.
+_GRID_BASE = 0x4000_0000
+_NET_BASE = 0x4100_0000 + 41 * 4096 + 1024
+_TABLE_BASE = 0x4200_0000 + 82 * 4096 + 2048
+_STACK_BASE = 0x4F00_0000 + 164 * 4096 + 3136
+
+_GRID_BYTES = 96 * 1024
+_TABLE_BYTES = 8 * 1024
+
+#: Two per-net arrays exactly 5 x 4KB apart: they collide in a 4KB
+#: direct-mapped cache (and still in 8/16KB since 5 is odd), washing out
+#: at larger sizes the way real allocation-offset conflicts do.
+_CONFLICT_BASES = (_NET_BASE, _NET_BASE + 5 * 4096)
+_CONFLICT_EXTENT = 1024
+
+_WEIGHT_GRID = 0.016
+_WEIGHT_CONFLICT = 0.026
+_WEIGHT_TABLE = 0.010
+_WEIGHT_STACK = 0.948
+
+#: Per-reference probability of a net-segment copy burst.
+_BURST_PROB = 0.0007
+_BURST_BYTES = 384
+
+
+def _data(rng: random.Random) -> Iterator[int]:
+    streams = [
+        stride_stream(_GRID_BASE, _GRID_BYTES, 4),
+        conflicting_streams(_CONFLICT_BASES, _CONFLICT_EXTENT, stride=4),
+        random_working_set(rng, _TABLE_BASE, _TABLE_BYTES, granule=8),
+        stack_traffic(rng, _STACK_BASE, frame_bytes=112, depth_frames=10),
+    ]
+    weights = [_WEIGHT_GRID, _WEIGHT_CONFLICT, _WEIGHT_TABLE, _WEIGHT_STACK]
+    background = mix(rng, streams, weights)
+    return bursty(rng, background, 0x4300_0000 + 123 * 4096 + 1536, 192 * 1024, _BURST_PROB, _BURST_BYTES)
+
+
+def build(scale: int, seed: int = 0) -> Trace:
+    """Build the grr trace with about *scale* instructions."""
+
+    def factory():
+        rng = random.Random(seed)
+        fabric = ProcedureFabric(
+            rng,
+            num_procedures=144,
+            mean_proc_instrs=120,
+            code_span=_CODE_SPAN,
+            call_prob=0.022,
+            loop_prob=0.014,
+            loop_iters=8,
+            hot_count=6,
+            hot_bias=0.73,
+            hot_aligned=3,
+            skip_prob=0.035,
+        )
+        phases = [
+            Phase(
+                name="route",
+                instructions=scale,
+                code=fabric,
+                data=_data(rng),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.3,
+            )
+        ]
+        return run_phases(phases, rng)
+
+    meta = TraceMeta(
+        name="grr",
+        program_type=PROGRAM_TYPE,
+        description="CAD router: grid sweeps plus conflicting per-net arrays",
+        seed=seed,
+        scale=scale,
+    )
+    return Trace(meta, factory)

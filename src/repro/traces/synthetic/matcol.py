@@ -1,0 +1,115 @@
+"""Synthetic *matcol* — non-unit and mixed stride numeric access.
+
+§5 lists this exactly: "the numeric programs used in this study used
+unit stride access patterns.  Numeric programs with non-unit stride and
+mixed stride access patterns also need to be simulated."  This
+extension workload is that program: a row-major matrix walked down its
+*columns* (each access jumps a full row — many cache lines — so the
+sequential stream buffer of §4.1 sees nothing sequential), mixed with
+unit-stride row sweeps and a strided reduction, phase by phase.
+
+It is not part of the paper's six-benchmark suite; the `ext_stride`
+experiment uses it to show the sequential buffer failing and the
+stride-detecting buffer (``repro.buffers.stride``) recovering the
+misses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..patterns import Phase, interleaved_streams, loop_code, mix, run_phases, stride_stream
+from ..trace import Trace, TraceMeta
+
+__all__ = ["build", "PROGRAM_TYPE", "DATA_PER_INSTR", "ROW_BYTES", "MATRIX_ROWS"]
+
+PROGRAM_TYPE = "non-unit-stride numeric"
+DATA_PER_INSTR = 0.30
+
+_CODE_BASE = 0x0030_0000 + 52 * 4096
+_MATRIX_BASE = 0x7000_0000
+_VECTOR_BASE = 0x7100_0000 + 61 * 4096
+_SCALAR_BASE = 0x7F00_0000 + 122 * 4096 + 1536
+
+#: 8-byte elements, 128 columns per row: each column step jumps a
+#: kilobyte — 64 cache lines at the baseline 16B line size.
+ELEM = 8
+MATRIX_COLS = 128
+MATRIX_ROWS = 192
+ROW_BYTES = MATRIX_COLS * ELEM
+MATRIX_BYTES = MATRIX_ROWS * ROW_BYTES
+
+
+def _column_major_sweep() -> Iterator[int]:
+    """Walk the row-major matrix column by column, forever."""
+    while True:
+        for col in range(MATRIX_COLS):
+            col_base = _MATRIX_BASE + col * ELEM
+            for row in range(MATRIX_ROWS):
+                yield col_base + row * ROW_BYTES
+
+
+def _strided_reduction() -> Iterator[int]:
+    """A fixed stride of three rows — a different non-unit stream."""
+    return stride_stream(_MATRIX_BASE + 4 * ELEM, MATRIX_BYTES, 3 * ROW_BYTES)
+
+
+def build(scale: int, seed: int = 0) -> Trace:
+    """Build the matcol trace with about *scale* instructions."""
+
+    def factory():
+        rng = random.Random(seed)
+        third = max(1, scale // 3)
+        phases = [
+            # Phase 1: pure column-major traversal (non-unit stride).
+            Phase(
+                name="column_sweep",
+                instructions=third,
+                code=loop_code(_CODE_BASE, body_instrs=40),
+                data=_column_major_sweep(),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.25,
+            ),
+            # Phase 2: mixed stride — two non-unit streams interleaved
+            # with a unit-stride vector.
+            Phase(
+                name="mixed_stride",
+                instructions=third,
+                code=loop_code(_CODE_BASE + 512, body_instrs=48),
+                data=interleaved_streams(
+                    [
+                        _column_major_sweep(),
+                        _strided_reduction(),
+                        stride_stream(_VECTOR_BASE, 64 * 1024, ELEM),
+                    ]
+                ),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.25,
+            ),
+            # Phase 3: unit-stride row sweep (the regime the paper's
+            # sequential buffer already handles), with resident scalars.
+            Phase(
+                name="row_sweep",
+                instructions=scale - 2 * third,
+                code=loop_code(_CODE_BASE + 1024, body_instrs=36),
+                data=mix(
+                    rng,
+                    [stride_stream(_MATRIX_BASE, MATRIX_BYTES, ELEM),
+                     stride_stream(_SCALAR_BASE, 256, ELEM)],
+                    [0.8, 0.2],
+                ),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.25,
+            ),
+        ]
+        return run_phases(phases, rng)
+
+    meta = TraceMeta(
+        name="matcol",
+        program_type=PROGRAM_TYPE,
+        description="column-major matrix traversal plus mixed-stride kernels (SS5 future work)",
+        seed=seed,
+        scale=scale,
+    )
+    return Trace(meta, factory)

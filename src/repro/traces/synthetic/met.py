@@ -1,0 +1,122 @@
+"""Synthetic *met* — PC board CAD timing verifier (Table 2-1).
+
+met is the paper's star miss-cache customer: it has the lowest overall
+miss rates of the CAD pair (0.017 instruction, 0.039 data) but "by far
+the highest ratio of conflict misses to total data cache misses"
+(Figure 3-1, §3.1), and correspondingly the largest fraction of its
+misses removed by small miss/victim caches (Figure 3-3).  The paper's
+explanation is tight alternation between a handful of addresses that map
+to the same line.
+
+Model: a small, hot instruction fabric; data dominated by high-locality
+traffic (keeping the overall rate low) plus two tight conflict
+generators — a pair of structures walked in lock step and a §3.1-style
+string comparison — whose operands collide in the 4KB cache.  A thin
+streaming component supplies the compulsory floor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..patterns import (
+    Phase,
+    ProcedureFabric,
+    alternate_code,
+    conflicting_streams,
+    loop_calling_helper,
+    mix,
+    run_phases,
+    stack_traffic,
+    string_compare,
+    stride_stream,
+)
+from ..trace import Trace, TraceMeta
+
+__all__ = ["build", "PROGRAM_TYPE", "DATA_PER_INSTR"]
+
+PROGRAM_TYPE = "PC board CAD"
+#: Table 2-1: 50.3M data refs / 99.4M instructions.
+DATA_PER_INSTR = 0.506
+
+_CODE_SPAN = 64 * 1024
+# Distinct mod-4KB offsets per region; the net pair and string pair
+# are the deliberate conflicts.
+_NET_BASE = 0x6000_0000
+_DELAY_BASE = 0x6100_0000 + 47 * 4096 + 2048
+_STACK_BASE = 0x6F00_0000 + 141 * 4096 + 3232
+
+#: Net list and its shadow timing array, 9 x 4KB apart: every lock-step
+#: pair of references collides in the baseline cache.
+_CONFLICT_BASES = (_NET_BASE, _NET_BASE + 9 * 4096)
+_CONFLICT_EXTENT = 896
+
+_STRING_A = 0x6200_0000 + 94 * 4096 + 1024
+_STRING_B = _STRING_A + 11 * 4096
+
+_WEIGHT_CONFLICT = 0.026
+_WEIGHT_STRINGS = 0.004
+_WEIGHT_SCAN = 0.012
+_WEIGHT_STACK = 0.958
+
+
+def _data(rng: random.Random) -> Iterator[int]:
+    streams = [
+        conflicting_streams(_CONFLICT_BASES, _CONFLICT_EXTENT, stride=4),
+        string_compare(_STRING_A, _STRING_B, length_bytes=128),
+        stride_stream(_DELAY_BASE, 160 * 1024, 8),
+        stack_traffic(rng, _STACK_BASE, frame_bytes=64, depth_frames=8),
+    ]
+    weights = [_WEIGHT_CONFLICT, _WEIGHT_STRINGS, _WEIGHT_SCAN, _WEIGHT_STACK]
+    return mix(rng, streams, weights)
+
+
+def build(scale: int, seed: int = 0) -> Trace:
+    """Build the met trace with about *scale* instructions."""
+
+    def factory():
+        rng = random.Random(seed)
+        fabric = ProcedureFabric(
+            rng,
+            num_procedures=32,
+            mean_proc_instrs=100,
+            code_span=_CODE_SPAN,
+            call_prob=0.004,
+            loop_prob=0.02,
+            loop_iters=12,
+            hot_count=8,
+            hot_bias=0.95,
+            skip_prob=0.03,
+            layout="packed",
+            code_base=0x000C_0000,
+        )
+        # The per-net verification loop calls a delay-model helper that
+        # collides with the loop body (SS3.2's inner-loop pattern).
+        verify_loop = loop_calling_helper(
+            loop_base=0x000C_0000 + _CODE_SPAN + 0x5000,
+            helper_base=0x000C_0000 + _CODE_SPAN + 0x5000 + 3 * 4096 + 96,
+            loop_instrs=32,
+            helper_instrs=18,
+        )
+        code = alternate_code(rng, verify_loop, fabric, mean_primary_run=320, mean_secondary_run=7500)
+        phases = [
+            Phase(
+                name="verify",
+                instructions=scale,
+                code=code,
+                data=_data(rng),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.28,
+            )
+        ]
+        return run_phases(phases, rng)
+
+    meta = TraceMeta(
+        name="met",
+        program_type=PROGRAM_TYPE,
+        description="timing verifier: tight alternating conflicts over hot data",
+        seed=seed,
+        scale=scale,
+    )
+    return Trace(meta, factory)

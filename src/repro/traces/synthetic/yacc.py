@@ -1,0 +1,129 @@
+"""Synthetic *yacc* — the Unix parser generator (Table 2-1).
+
+yacc is table driven: a compact LALR automaton loop probes action and
+goto tables, scans its input grammar sequentially, and pushes/pops a
+state stack.  Table 2-2 gives it low miss rates (0.028 instruction,
+0.040 data) — the hot loop and tables mostly fit — but Figure 3-1 shows
+an above-average *conflict* share, which the paper attributes to a few
+structures (here: the state stack and the value stack) landing on the
+same cache lines.
+
+Model: a compact, strongly-biased procedure fabric for code; data mixing
+random table probes, a sequential grammar scan, lock-step references to
+two conflicting stacks, and ordinary stack traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..patterns import (
+    Phase,
+    ProcedureFabric,
+    alternate_code,
+    bursty,
+    conflicting_streams,
+    loop_calling_helper,
+    mix,
+    random_working_set,
+    run_phases,
+    stack_traffic,
+    stride_stream,
+)
+from ..trace import Trace, TraceMeta
+
+__all__ = ["build", "PROGRAM_TYPE", "DATA_PER_INSTR"]
+
+PROGRAM_TYPE = "Unix utility"
+#: Table 2-1: 16.7M data refs / 51.0M instructions.
+DATA_PER_INSTR = 0.327
+
+_CODE_SPAN = 48 * 1024
+# Distinct mod-4KB offsets per region; only the two parser stacks conflict.
+_TABLE_BASE = 0x5000_0000
+_INPUT_BASE = 0x5100_0000 + 43 * 4096 + 1344
+_STACK_BASE = 0x5F00_0000 + 172 * 4096 + 3328
+
+_TABLE_BYTES = 6 * 1024
+_INPUT_BYTES = 128 * 1024
+
+#: State stack and value stack 3 x 4KB apart — pushed in lock step, so
+#: their tops collide in the 4KB baseline cache.
+_CONFLICT_BASES = (0x5200_0000 + 86 * 4096 + 2048, 0x5200_0000 + 86 * 4096 + 2048 + 3 * 4096)
+_CONFLICT_EXTENT = 768
+
+_WEIGHT_TABLE = 0.016
+_WEIGHT_INPUT = 0.011
+_WEIGHT_CONFLICT = 0.015
+_WEIGHT_STACK = 0.958
+
+#: Per-reference probability of a grammar-action copy burst.
+_BURST_PROB = 0.0005
+_BURST_BYTES = 320
+
+
+def _data(rng: random.Random) -> Iterator[int]:
+    streams = [
+        random_working_set(rng, _TABLE_BASE, _TABLE_BYTES, granule=4),
+        stride_stream(_INPUT_BASE, _INPUT_BYTES, 4),
+        conflicting_streams(_CONFLICT_BASES, _CONFLICT_EXTENT, stride=4),
+        stack_traffic(rng, _STACK_BASE, frame_bytes=80, depth_frames=8),
+    ]
+    weights = [_WEIGHT_TABLE, _WEIGHT_INPUT, _WEIGHT_CONFLICT, _WEIGHT_STACK]
+    background = mix(rng, streams, weights)
+    return bursty(rng, background, 0x5300_0000 + 129 * 4096 + 512, 128 * 1024, _BURST_PROB, _BURST_BYTES)
+
+
+def build(scale: int, seed: int = 0) -> Trace:
+    """Build the yacc trace with about *scale* instructions."""
+
+    def factory():
+        rng = random.Random(seed)
+        fabric = ProcedureFabric(
+            rng,
+            num_procedures=40,
+            mean_proc_instrs=90,
+            code_span=_CODE_SPAN,
+            call_prob=0.011,
+            loop_prob=0.02,
+            loop_iters=10,
+            hot_count=10,
+            hot_bias=0.88,
+            skip_prob=0.03,
+            layout="packed",
+            code_base=0x000D_0000,
+        )
+        # The LALR shift/reduce loop calls the lexer, which the linker
+        # happened to place a cache-size multiple away (SS3.2's pattern):
+        # their lines trade places every iteration.
+        # Helper overlaps the tail two lines of the loop body only, so
+        # each iteration swaps a couple of line pairs (a one-entry victim
+        # cache already helps; a four-entry one removes nearly all).
+        parse_loop = loop_calling_helper(
+            loop_base=0x000D_0000 + _CODE_SPAN + 0x9000,
+            helper_base=0x000D_0000 + _CODE_SPAN + 0x9000 + 2 * 4096 + 128,
+            loop_instrs=36,
+            helper_instrs=20,
+        )
+        code = alternate_code(rng, parse_loop, fabric, mean_primary_run=450, mean_secondary_run=4500)
+        phases = [
+            Phase(
+                name="parse",
+                instructions=scale,
+                code=code,
+                data=_data(rng),
+                data_per_instr=DATA_PER_INSTR,
+                store_fraction=0.26,
+            )
+        ]
+        return run_phases(phases, rng)
+
+    meta = TraceMeta(
+        name="yacc",
+        program_type=PROGRAM_TYPE,
+        description="table-driven LALR parsing with conflicting state/value stacks",
+        seed=seed,
+        scale=scale,
+    )
+    return Trace(meta, factory)

@@ -1,0 +1,163 @@
+"""Trace objects: named, repeatable streams of memory references.
+
+The paper's methodology is trace-driven simulation over six program
+traces (Table 2-1).  A :class:`Trace` here is a *recipe*: metadata plus a
+factory that produces a fresh iterator of ``(kind, byte_address)`` pairs
+each time, so the same trace can be replayed across the dozens of
+configurations an experiment sweeps.  :class:`MaterializedTrace` captures
+one replay into flat lists for fast repeated simulation, including the
+split instruction/data views most experiments need (the paper's L1
+caches are split, and its figures treat the two sides independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..common.types import Access, AccessKind
+
+__all__ = ["TraceMeta", "TraceStats", "Trace", "MaterializedTrace", "trace_from_pairs"]
+
+#: The compact representation used everywhere hot: (kind, byte_address).
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Identity and provenance of a trace."""
+
+    name: str
+    #: Table 2-1 style description ("C compiler", "PC board CAD", ...).
+    program_type: str = ""
+    description: str = ""
+    seed: int = 0
+    #: Nominal instruction count the generator was asked for.
+    scale: int = 0
+
+
+@dataclass
+class TraceStats:
+    """Reference counts in the shape of the paper's Table 2-1."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+
+    @property
+    def data_references(self) -> int:
+        return self.loads + self.stores
+
+    @property
+    def total_references(self) -> int:
+        return self.instructions + self.data_references
+
+    @property
+    def data_per_instruction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return self.data_references / self.instructions
+
+
+class Trace:
+    """A named, repeatable access trace built from a factory function."""
+
+    def __init__(self, meta: TraceMeta, factory: Callable[[], Iterable[Pair]]):
+        self.meta = meta
+        self._factory = factory
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._factory())
+
+    def accesses(self) -> Iterator[Access]:
+        """Iterate as rich :class:`Access` objects (public-API view)."""
+        for kind, address in self:
+            yield Access(AccessKind(kind), address)
+
+    def materialize(self) -> "MaterializedTrace":
+        """Replay once into memory for fast repeated simulation."""
+        return MaterializedTrace(self.meta, list(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.meta.name!r})"
+
+
+class MaterializedTrace:
+    """One replay of a trace, held as a flat list of ``(kind, addr)`` pairs.
+
+    Split views are computed lazily and cached: experiments replay the
+    same instruction or data stream against many cache configurations.
+    """
+
+    def __init__(self, meta: TraceMeta, pairs: List[Pair]):
+        self.meta = meta
+        self.pairs = pairs
+        self._instruction_addresses: Optional[List[int]] = None
+        self._data_addresses: Optional[List[int]] = None
+        self._stats: Optional[TraceStats] = None
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self.pairs)
+
+    @property
+    def instruction_addresses(self) -> List[int]:
+        """Byte addresses of the instruction-fetch stream, in order."""
+        if self._instruction_addresses is None:
+            ifetch = int(AccessKind.IFETCH)
+            self._instruction_addresses = [a for k, a in self.pairs if k == ifetch]
+        return self._instruction_addresses
+
+    @property
+    def data_addresses(self) -> List[int]:
+        """Byte addresses of the load/store stream, in order."""
+        if self._data_addresses is None:
+            ifetch = int(AccessKind.IFETCH)
+            self._data_addresses = [a for k, a in self.pairs if k != ifetch]
+        return self._data_addresses
+
+    def stream(self, side: str) -> List[int]:
+        """The 'i' or 'd' byte-address stream (experiment convenience)."""
+        if side == "i":
+            return self.instruction_addresses
+        if side == "d":
+            return self.data_addresses
+        raise ValueError(f"side must be 'i' or 'd', got {side!r}")
+
+    def stats(self) -> TraceStats:
+        if self._stats is None:
+            counts: Dict[int, int] = {}
+            for kind, _ in self.pairs:
+                counts[kind] = counts.get(kind, 0) + 1
+            self._stats = TraceStats(
+                instructions=counts.get(int(AccessKind.IFETCH), 0),
+                loads=counts.get(int(AccessKind.LOAD), 0),
+                stores=counts.get(int(AccessKind.STORE), 0),
+            )
+        return self._stats
+
+    def unique_lines(self, side: str, line_size: int) -> int:
+        """Distinct cache lines touched by one side (footprint measure)."""
+        shift = line_size.bit_length() - 1
+        return len({addr >> shift for addr in self.stream(side)})
+
+
+def trace_from_pairs(
+    name: str,
+    pairs: Iterable[Pair],
+    program_type: str = "",
+    description: str = "",
+) -> MaterializedTrace:
+    """Build a materialized trace directly from pairs (tests, file loads)."""
+    meta = TraceMeta(name=name, program_type=program_type, description=description)
+    return MaterializedTrace(meta, list(pairs))

@@ -1,0 +1,104 @@
+"""Unit and property tests for repro.common.address."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.address import (
+    align_down,
+    align_up,
+    is_power_of_two,
+    line_address,
+    line_base,
+    line_index,
+    log2_exact,
+)
+
+addresses = st.integers(min_value=0, max_value=2**48 - 1)
+pow2 = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 65536])
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_zero_and_negative(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    def test_rejects_composites(self):
+        for value in (3, 5, 6, 7, 9, 12, 100, 4095, 4097):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_exact_values(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(16) == 4
+        assert log2_exact(4096) == 12
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="line_size"):
+            log2_exact(3, "line_size")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+    @given(exp=st.integers(min_value=0, max_value=40))
+    def test_roundtrip(self, exp):
+        assert log2_exact(1 << exp) == exp
+
+
+class TestLineAddress:
+    def test_basic(self):
+        assert line_address(0, 16) == 0
+        assert line_address(15, 16) == 0
+        assert line_address(16, 16) == 1
+        assert line_address(0x1234, 16) == 0x123
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            line_address(100, 24)
+
+    @given(addr=addresses, line=pow2)
+    def test_line_base_covers_address(self, addr, line):
+        la = line_address(addr, line)
+        base = line_base(la, line)
+        assert base <= addr < base + line
+
+    @given(addr=addresses, line=pow2)
+    def test_addresses_in_same_line_share_line_address(self, addr, line):
+        base = line_base(line_address(addr, line), line)
+        assert line_address(base, line) == line_address(base + line - 1, line)
+
+
+class TestLineIndex:
+    def test_wraps_modulo_lines(self):
+        assert line_index(0, 256) == 0
+        assert line_index(256, 256) == 0
+        assert line_index(257, 256) == 1
+
+    @given(la=addresses, lines=pow2)
+    def test_always_in_range(self, la, lines):
+        assert 0 <= line_index(la, lines) < lines
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x1234, 16) == 0x1230
+        assert align_down(0x1230, 16) == 0x1230
+
+    def test_align_up(self):
+        assert align_up(0x1231, 16) == 0x1240
+        assert align_up(0x1240, 16) == 0x1240
+
+    @given(addr=addresses, alignment=pow2)
+    def test_align_bounds(self, addr, alignment):
+        down = align_down(addr, alignment)
+        up = align_up(addr, alignment)
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert down <= addr <= up
+        assert up - down in (0, alignment)

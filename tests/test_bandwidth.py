@@ -1,0 +1,96 @@
+"""Tests for the §4.1 sequential-fetch bandwidth model."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hierarchy.bandwidth import (
+    FetchMechanism,
+    PipelinedMemoryInterface,
+    bandwidth_sweep,
+    sequential_fetch_cpi,
+)
+
+
+class TestPipelinedInterface:
+    def test_latency_applied(self):
+        interface = PipelinedMemoryInterface(latency=12, issue_interval=4)
+        assert interface.request(0) == 12
+
+    def test_issue_interval_back_pressure(self):
+        interface = PipelinedMemoryInterface(latency=12, issue_interval=4)
+        assert interface.request(0) == 12
+        assert interface.request(0) == 16   # issued at 4
+        assert interface.request(0) == 20   # issued at 8
+
+    def test_idle_interface_issues_immediately(self):
+        interface = PipelinedMemoryInterface(latency=10, issue_interval=4)
+        interface.request(0)
+        assert interface.request(100) == 110
+
+    def test_reset(self):
+        interface = PipelinedMemoryInterface()
+        interface.request(0)
+        interface.reset()
+        assert interface.request(0) == interface.latency
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedMemoryInterface(latency=0)
+        with pytest.raises(ConfigurationError):
+            PipelinedMemoryInterface(issue_interval=0)
+
+
+class TestPaperWorkedExample:
+    """§4.1: 12-cycle latency, one request per 4 cycles, 4-instr lines."""
+
+    def test_stream_buffer_sustains_one_per_cycle(self):
+        assert sequential_fetch_cpi(FetchMechanism.STREAM, 12, 4) == pytest.approx(1.0)
+
+    def test_tagged_prefetch_one_every_three_cycles(self):
+        assert sequential_fetch_cpi(FetchMechanism.TAGGED, 12, 4) == pytest.approx(3.0)
+
+    def test_demand_fetch_pays_full_latency(self):
+        # 12 cycles latency + 4 cycles consuming = 16 cycles / 4 instr.
+        assert sequential_fetch_cpi(FetchMechanism.DEMAND, 12, 4) == pytest.approx(4.0)
+
+
+class TestScalingBehaviour:
+    def test_stream_holds_one_cpi_within_coverage(self):
+        # 4 entries x 4-cycle issue: covered up to latency ~16.
+        for latency in (4, 8, 12, 16):
+            assert sequential_fetch_cpi(
+                FetchMechanism.STREAM, latency, 4
+            ) == pytest.approx(1.0)
+
+    def test_stream_degrades_gracefully_beyond_coverage(self):
+        cpi_24 = sequential_fetch_cpi(FetchMechanism.STREAM, 24, 4)
+        cpi_48 = sequential_fetch_cpi(FetchMechanism.STREAM, 48, 4)
+        tagged_48 = sequential_fetch_cpi(FetchMechanism.TAGGED, 48, 4)
+        assert 1.0 < cpi_24 < cpi_48 < tagged_48
+
+    def test_more_entries_cover_longer_latency(self):
+        shallow = sequential_fetch_cpi(FetchMechanism.STREAM, 32, 4, buffer_entries=4)
+        deep = sequential_fetch_cpi(FetchMechanism.STREAM, 32, 4, buffer_entries=12)
+        assert deep < shallow
+        assert deep == pytest.approx(1.0)
+
+    def test_mechanism_ordering_universal(self):
+        for latency in (4, 8, 16, 32):
+            demand = sequential_fetch_cpi(FetchMechanism.DEMAND, latency, 4)
+            tagged = sequential_fetch_cpi(FetchMechanism.TAGGED, latency, 4)
+            stream = sequential_fetch_cpi(FetchMechanism.STREAM, latency, 4)
+            assert stream <= tagged <= demand
+
+    def test_sweep_shape(self):
+        points = bandwidth_sweep([8, 12, 24])
+        assert [p.latency for p in points] == [8, 12, 24]
+        for point in points:
+            assert point.stream_cpi <= point.tagged_cpi <= point.demand_cpi
+
+    def test_needs_two_lines(self):
+        with pytest.raises(ConfigurationError):
+            sequential_fetch_cpi(FetchMechanism.DEMAND, 12, 4, lines=1)
+
+    def test_cpi_floor_is_one(self):
+        # Nothing can beat one instruction per cycle.
+        assert sequential_fetch_cpi(FetchMechanism.STREAM, 1, 1) >= 1.0

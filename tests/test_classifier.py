@@ -1,0 +1,135 @@
+"""Unit and property tests for 3C miss classification (paper §3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classify.miss_classifier import MissClassifier
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import MissKind
+from repro.hierarchy.level import CacheLevel
+
+lines = st.integers(min_value=0, max_value=300)
+
+
+class TestConstruction:
+    def test_rejects_zero_lines(self):
+        with pytest.raises(ConfigurationError):
+            MissClassifier(0)
+
+
+class TestClassification:
+    def test_first_reference_is_compulsory(self):
+        classifier = MissClassifier(4)
+        assert classifier.observe(1, direct_mapped_hit=False) is MissKind.COMPULSORY
+
+    def test_hit_returns_none(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, False)
+        assert classifier.observe(1, True) is None
+        assert classifier.misses == 1
+
+    def test_conflict_when_shadow_would_hit(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, False)
+        classifier.observe(2, False)
+        # Line 1 still in the 4-entry shadow: a DM miss on it is conflict.
+        assert classifier.observe(1, False) is MissKind.CONFLICT
+
+    def test_capacity_when_shadow_also_misses(self):
+        classifier = MissClassifier(2)
+        for line in (1, 2, 3):
+            classifier.observe(line, False)
+        # Line 1 was evicted from the 2-entry shadow by 3.
+        assert classifier.observe(1, False) is MissKind.CAPACITY
+
+    def test_coherence_always_zero(self):
+        classifier = MissClassifier(4)
+        for line in range(20):
+            classifier.observe(line, False)
+        assert classifier.counts[MissKind.COHERENCE] == 0
+
+    def test_shadow_tracks_hits_too(self):
+        """A DM hit must refresh the shadow's LRU state."""
+        classifier = MissClassifier(2)
+        classifier.observe(1, False)
+        classifier.observe(2, False)
+        classifier.observe(1, True)   # refresh 1 in shadow
+        classifier.observe(3, False)  # evicts 2, not 1
+        assert classifier.observe(1, False) is MissKind.CONFLICT
+        assert classifier.observe(2, False) is MissKind.CAPACITY
+
+    def test_percent_conflict(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, False)  # compulsory
+        classifier.observe(2, False)  # compulsory
+        classifier.observe(1, False)  # conflict
+        assert classifier.percent_conflict == pytest.approx(100.0 / 3.0)
+
+    def test_summary_keys(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, False)
+        summary = classifier.summary()
+        assert summary["misses"] == 1
+        assert summary["compulsory"] == 1
+        assert set(summary) == {
+            "accesses",
+            "misses",
+            "compulsory",
+            "capacity",
+            "conflict",
+            "coherence",
+            "percent_conflict",
+        }
+
+    def test_reset(self):
+        classifier = MissClassifier(4)
+        classifier.observe(1, False)
+        classifier.reset()
+        assert classifier.misses == 0
+        assert classifier.observe(1, False) is MissKind.COMPULSORY
+
+
+class TestPartitionProperties:
+    @settings(deadline=None, max_examples=50)
+    @given(refs=st.lists(lines, max_size=500))
+    def test_classes_partition_the_misses(self, refs):
+        config = CacheConfig(256, 16)  # 16 lines
+        level = CacheLevel(config, classify=True)
+        for line in refs:
+            level.access_line(line)
+        classifier = level.classifier
+        assert (
+            classifier.compulsory_misses
+            + classifier.capacity_misses
+            + classifier.conflict_misses
+            == level.stats.demand_misses
+        )
+        assert classifier.accesses == len(refs)
+
+    @settings(deadline=None, max_examples=50)
+    @given(refs=st.lists(lines, max_size=500))
+    def test_compulsory_equals_unique_lines_missed_first(self, refs):
+        config = CacheConfig(256, 16)
+        level = CacheLevel(config, classify=True)
+        for line in refs:
+            level.access_line(line)
+        # Every distinct line's first access is a DM miss (cold cache),
+        # so compulsory misses == number of distinct lines referenced.
+        assert level.classifier.compulsory_misses == len(set(refs))
+
+    @settings(deadline=None, max_examples=30)
+    @given(refs=st.lists(st.integers(min_value=0, max_value=15), max_size=300))
+    def test_no_conflicts_when_footprint_fits(self, refs):
+        """A footprint within one FA capacity AND with <= 1 line per set
+        cannot conflict; restrict lines to 0..15 in a 16-line cache so
+        each line has its own set: all misses are compulsory."""
+        config = CacheConfig(256, 16)
+        level = CacheLevel(config, classify=True)
+        for line in refs:
+            level.access_line(line)
+        assert level.classifier.conflict_misses == 0
+        assert level.classifier.capacity_misses == 0

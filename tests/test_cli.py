@@ -1,0 +1,46 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert args.scale is None
+        assert args.seed == 0
+
+    def test_scale_and_seed(self):
+        args = build_parser().parse_args(["--scale", "1000", "--seed", "7", "table_1_1"])
+        assert args.scale == 1000
+        assert args.seed == 7
+        assert args.experiments == ["table_1_1"]
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(out) == set(ALL_EXPERIMENTS)
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["no_such_thing"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_selected_experiment(self, capsys):
+        assert main(["table_1_1", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "table_1_1" in out
+        assert "VAX 11/780" in out
+
+    def test_runs_simulated_experiment_at_small_scale(self, capsys):
+        assert main(["table_2_2", "--scale", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "linpack" in out
+
+    def test_seed_changes_trace(self, capsys):
+        assert main(["table_2_1", "--scale", "300", "--seed", "1"]) == 0
+        assert "total" in capsys.readouterr().out

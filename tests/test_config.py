@@ -1,0 +1,97 @@
+"""Unit tests for repro.common.config."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BASELINE_L1_LINE,
+    BASELINE_L1_MISS_PENALTY,
+    BASELINE_L1_SIZE,
+    BASELINE_L2_LINE,
+    BASELINE_L2_MISS_PENALTY,
+    BASELINE_L2_SIZE,
+    CacheConfig,
+    SystemConfig,
+    TimingConfig,
+    baseline_system,
+)
+from repro.common.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        config = CacheConfig(4096, 16)
+        assert config.num_lines == 256
+        assert config.offset_bits == 4
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(3000, 16)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(4096, 24)
+
+    def test_rejects_line_bigger_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(16, 32)
+
+    def test_with_size(self):
+        assert CacheConfig(4096, 16).with_size(8192).num_lines == 512
+
+    def test_with_line_size(self):
+        assert CacheConfig(4096, 16).with_line_size(32).num_lines == 128
+
+    def test_frozen(self):
+        config = CacheConfig(4096, 16)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.size_bytes = 8192
+
+    def test_single_line_cache_allowed(self):
+        assert CacheConfig(16, 16).num_lines == 1
+
+
+class TestTimingConfig:
+    def test_paper_defaults(self):
+        timing = TimingConfig()
+        assert timing.l1_miss_penalty == 24
+        assert timing.l2_miss_penalty == 320
+        assert timing.removed_miss_penalty == 1
+        assert timing.l2_issue_interval == 4
+        assert timing.l2_fill_latency == 12
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(l1_miss_penalty=-1)
+
+    def test_rejects_zero_issue_interval(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(l2_issue_interval=0)
+
+    def test_rejects_zero_fill_latency(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(l2_fill_latency=0)
+
+
+class TestSystemConfig:
+    def test_baseline_matches_paper(self):
+        system = baseline_system()
+        assert system.icache == CacheConfig(BASELINE_L1_SIZE, BASELINE_L1_LINE)
+        assert system.dcache == CacheConfig(4096, 16)
+        assert system.l2 == CacheConfig(BASELINE_L2_SIZE, BASELINE_L2_LINE)
+        assert system.l2.size_bytes == 1024 * 1024
+        assert system.l2.line_size == 128
+        assert BASELINE_L1_MISS_PENALTY == 24
+        assert BASELINE_L2_MISS_PENALTY == 320
+
+    def test_l2_line_must_cover_l1_line(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(l2=CacheConfig(1024 * 1024, 8))
+
+    def test_variants_via_replace(self):
+        system = dataclasses.replace(
+            baseline_system(), dcache=CacheConfig(8192, 16)
+        )
+        assert system.dcache.num_lines == 512
+        assert system.icache.num_lines == 256

@@ -1,0 +1,108 @@
+"""Tests for the user-configurable CustomWorkload builder."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import run_level
+from repro.hierarchy.system import MemorySystem
+from repro.traces.synthetic.custom import CustomWorkload
+
+CONFIG = CacheConfig(4096, 16)
+
+
+def build(**kwargs):
+    defaults = dict(instructions=8_000)
+    defaults.update(kwargs)
+    return CustomWorkload(**defaults).build().materialize()
+
+
+class TestValidation:
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ConfigurationError):
+            CustomWorkload(instructions=0)
+
+    def test_rejects_bad_call_intensity(self):
+        with pytest.raises(ConfigurationError):
+            CustomWorkload(call_intensity=1.5)
+
+    def test_rejects_fractions_over_one(self):
+        with pytest.raises(ConfigurationError):
+            CustomWorkload(sequential_fraction=0.6, pointer_fraction=0.6)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ConfigurationError):
+            CustomWorkload(conflict_fraction=-0.1)
+
+    def test_rejects_tiny_working_set(self):
+        with pytest.raises(ConfigurationError):
+            CustomWorkload(data_working_set=64)
+
+
+class TestBasicShape:
+    def test_instruction_count(self):
+        trace = build()
+        assert trace.stats().instructions == 8_000
+
+    def test_data_ratio(self):
+        trace = build(data_per_instr=0.5)
+        assert trace.stats().data_per_instruction == pytest.approx(0.5, abs=0.01)
+
+    def test_deterministic_per_seed(self):
+        assert list(build(seed=3)) == list(build(seed=3))
+        assert list(build(seed=3)) != list(build(seed=4))
+
+    def test_metadata_describes_config(self):
+        trace = build(sequential_fraction=0.3)
+        assert "seq 0.30" in trace.meta.description
+
+    def test_all_data_fractions_zero_still_runs(self):
+        trace = build(
+            sequential_fraction=0.0, conflict_fraction=0.0, pointer_fraction=0.0
+        )
+        assert trace.stats().data_references > 0
+
+
+class TestKnobsSteerBehaviour:
+    def test_small_code_footprint_means_no_imisses(self):
+        trace = build(code_footprint=512)
+        result = MemorySystem().run(trace)
+        assert result.imiss_rate < 0.01
+
+    def test_bigger_code_footprint_more_imisses(self):
+        small = MemorySystem().run(build(code_footprint=8 * 1024)).imiss_rate
+        large = MemorySystem().run(build(code_footprint=96 * 1024)).imiss_rate
+        assert large > small
+
+    def test_bigger_working_set_more_dmisses(self):
+        small = MemorySystem().run(
+            build(data_working_set=4 * 1024, sequential_fraction=0.4)
+        ).dmiss_rate
+        large = MemorySystem().run(
+            build(data_working_set=512 * 1024, sequential_fraction=0.4)
+        ).dmiss_rate
+        assert large > small
+
+    def test_conflict_fraction_feeds_the_victim_cache(self):
+        from repro.buffers.victim_cache import VictimCache
+
+        trace = build(conflict_fraction=0.2, instructions=15_000)
+        addresses = trace.data_addresses
+        baseline = run_level(addresses, CONFIG)
+        helped = run_level(addresses, CONFIG, VictimCache(4))
+        assert helped.removed > 0.3 * baseline.misses
+
+    def test_sequential_fraction_feeds_the_stream_buffer(self):
+        from repro.buffers.stream_buffer import StreamBuffer
+
+        trace = build(
+            sequential_fraction=0.5,
+            conflict_fraction=0.0,
+            pointer_fraction=0.0,
+            data_working_set=512 * 1024,
+            instructions=15_000,
+        )
+        addresses = trace.data_addresses
+        baseline = run_level(addresses, CONFIG)
+        helped = run_level(addresses, CONFIG, StreamBuffer(4))
+        assert helped.removed > 0.5 * baseline.misses

@@ -1,0 +1,122 @@
+"""Unit and property tests for the direct-mapped cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.common.config import CacheConfig
+
+lines = st.integers(min_value=0, max_value=1 << 20)
+
+
+@pytest.fixture
+def cache():
+    # 4 lines for tight control over conflicts.
+    return DirectMappedCache(CacheConfig(64, 16))
+
+
+class TestBasicOperation:
+    def test_starts_empty(self, cache):
+        assert cache.occupancy() == 0
+        assert not cache.probe(0)
+
+    def test_fill_then_hit(self, cache):
+        assert cache.fill(5) is None
+        assert cache.probe(5)
+        assert cache.access(5)
+
+    def test_conflicting_fill_evicts(self, cache):
+        cache.fill(1)
+        victim = cache.fill(5)  # 5 % 4 == 1 % 4
+        assert victim == 1
+        assert not cache.probe(1)
+        assert cache.probe(5)
+
+    def test_non_conflicting_fills_coexist(self, cache):
+        for line in range(4):
+            assert cache.fill(line) is None
+        assert all(cache.probe(line) for line in range(4))
+        assert cache.occupancy() == 4
+
+    def test_refill_resident_line_returns_no_victim(self, cache):
+        cache.fill(7)
+        assert cache.fill(7) is None
+        assert cache.probe(7)
+
+    def test_invalidate(self, cache):
+        cache.fill(3)
+        assert cache.invalidate(3)
+        assert not cache.probe(3)
+        assert not cache.invalidate(3)
+
+    def test_invalidate_wrong_line_same_set(self, cache):
+        cache.fill(1)
+        assert not cache.invalidate(5)
+        assert cache.probe(1)
+
+    def test_clear(self, cache):
+        cache.fill(1)
+        cache.fill(2)
+        cache.clear()
+        assert cache.occupancy() == 0
+
+    def test_resident_lines(self, cache):
+        cache.fill(0)
+        cache.fill(5)
+        assert sorted(cache.resident_lines()) == [0, 5]
+
+    def test_access_and_fill_convenience(self, cache):
+        assert not cache.access_and_fill(9)
+        assert cache.access_and_fill(9)
+
+
+class TestGeometryHelpers:
+    def test_index_of(self, cache):
+        assert cache.index_of(0) == 0
+        assert cache.index_of(4) == 0
+        assert cache.index_of(7) == 3
+
+    def test_resident_at(self, cache):
+        assert cache.resident_at(2) is None
+        cache.fill(6)
+        assert cache.resident_at(2) == 6
+
+    def test_conflicts_with(self, cache):
+        assert cache.conflicts_with(1, 5)
+        assert not cache.conflicts_with(1, 2)
+        assert not cache.conflicts_with(1, 1)
+
+
+class TestProperties:
+    @given(st.lists(lines, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, refs):
+        cache = DirectMappedCache(CacheConfig(128, 16))
+        for line in refs:
+            cache.access_and_fill(line)
+        assert cache.occupancy() <= cache.num_lines
+
+    @given(st.lists(lines, max_size=200))
+    def test_most_recent_fill_always_resident(self, refs):
+        cache = DirectMappedCache(CacheConfig(128, 16))
+        for line in refs:
+            cache.fill(line)
+            assert cache.probe(line)
+
+    @given(st.lists(lines, max_size=200))
+    def test_resident_lines_map_to_distinct_sets(self, refs):
+        cache = DirectMappedCache(CacheConfig(128, 16))
+        for line in refs:
+            cache.access_and_fill(line)
+        indices = [cache.index_of(line) for line in cache.resident_lines()]
+        assert len(indices) == len(set(indices))
+
+    @given(st.lists(lines, max_size=200))
+    def test_probe_is_pure(self, refs):
+        cache = DirectMappedCache(CacheConfig(128, 16))
+        for line in refs:
+            cache.access_and_fill(line)
+        before = sorted(cache.resident_lines())
+        for line in refs[:20]:
+            cache.probe(line)
+        assert sorted(cache.resident_lines()) == before

@@ -1,0 +1,97 @@
+"""Documentation consistency: the docs must track the code.
+
+These meta-tests fail when an experiment, benchmark, or example is
+added without its documentation (or vice versa), keeping DESIGN.md's
+index, EXPERIMENTS.md's sections, and the benchmark harness complete.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_text():
+    return (ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments_text():
+    return (ROOT / "EXPERIMENTS.md").read_text()
+
+
+class TestBenchmarkHarnessComplete:
+    def test_every_experiment_has_a_benchmark(self):
+        missing = [
+            name
+            for name in ALL_EXPERIMENTS
+            if not (ROOT / "benchmarks" / f"test_{name}.py").exists()
+        ]
+        assert not missing, f"experiments without benchmarks: {missing}"
+
+    def test_every_artifact_benchmark_has_an_experiment(self):
+        known = set(ALL_EXPERIMENTS) | {"core_throughput"}
+        stray = [
+            path.stem.removeprefix("test_")
+            for path in (ROOT / "benchmarks").glob("test_*.py")
+            if path.stem.removeprefix("test_") not in known
+        ]
+        assert not stray, f"benchmarks without experiments: {stray}"
+
+
+class TestDesignIndexComplete:
+    def test_every_experiment_module_referenced(self, design_text):
+        missing = [
+            name for name in ALL_EXPERIMENTS if f"experiments.{name}" not in design_text
+            and f"`{name}`" not in design_text
+        ]
+        # Table/figure experiments are referenced via experiments.<name>;
+        # allow either style but require presence.
+        assert not missing, f"experiments missing from DESIGN.md: {missing}"
+
+    def test_paper_identity_check_present(self, design_text):
+        assert "Paper identity check" in design_text
+
+    def test_every_benchmark_file_referenced(self, design_text):
+        missing = [
+            name
+            for name in ALL_EXPERIMENTS
+            if f"benchmarks/test_{name}.py" not in design_text
+        ]
+        assert not missing, f"bench targets missing from DESIGN.md index: {missing}"
+
+
+class TestExperimentsDocComplete:
+    def test_every_experiment_has_a_section(self, experiments_text):
+        missing = [
+            name for name in ALL_EXPERIMENTS if f"`{name}`" not in experiments_text
+        ]
+        assert not missing, f"experiments missing from EXPERIMENTS.md: {missing}"
+
+    def test_every_backticked_id_is_real(self, experiments_text):
+        cited = set(re.findall(r"\(`([a-z0-9_]+)`\)", experiments_text))
+        unknown = cited - set(ALL_EXPERIMENTS)
+        assert not unknown, f"EXPERIMENTS.md cites unknown experiments: {unknown}"
+
+
+class TestReadmeConsistency:
+    def test_example_table_matches_directory(self):
+        readme = (ROOT / "README.md").read_text()
+        for path in (ROOT / "examples").glob("*.py"):
+            assert f"`{path.name}`" in readme, f"{path.name} missing from README"
+
+    def test_experiment_count_current(self):
+        readme = (ROOT / "README.md").read_text()
+        match = re.search(r"# (\d+) experiment ids", readme)
+        assert match, "README should state the experiment count"
+        assert int(match.group(1)) == len(ALL_EXPERIMENTS)
+
+    def test_api_doc_lists_every_experiment(self):
+        api = (ROOT / "docs" / "API.md").read_text()
+        missing = [name for name in ALL_EXPERIMENTS if f"`{name}`" not in api]
+        assert not missing, f"experiments missing from docs/API.md: {missing}"

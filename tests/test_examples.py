@@ -1,0 +1,67 @@
+"""Smoke tests: every example script runs end to end and tells its story.
+
+Examples are documentation that executes; these tests run each one
+in-process (patching argv where the script takes arguments, at a reduced
+scale) and assert on the narrative landmarks of its output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv=()):
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", ["met", "8000"])
+        assert "baseline (no helper structures):" in out
+        assert "speedup" in out
+
+    def test_string_compare(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "string_compare.py")
+        assert "2-entry miss cache" in out
+        assert "1-entry victim cache" in out
+        # The story: the bare cache misses on everything.
+        assert "(  0.0%)" in out
+
+    def test_matrix_streaming(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "matrix_streaming.py")
+        assert "linpack" in out and "liver" in out
+        assert "stream-buffer hits by distance" in out
+
+    def test_design_space(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "design_space.py", ["6000"])
+        assert "three ways to spend transistors" in out
+        assert "2-way" in out
+
+    def test_future_work(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "future_work.py")
+        assert "non-unit stride" in out
+        assert "multiprogramming" in out
+        assert "latency tolerance" in out
+
+    def test_custom_workload(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_workload.py")
+        assert "database" in out
+        assert "video-decode" in out
+
+    def test_every_example_has_a_test(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "string_compare.py",
+            "matrix_streaming.py",
+            "design_space.py",
+            "future_work.py",
+            "custom_workload.py",
+        }
+        assert scripts == tested

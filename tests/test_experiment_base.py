@@ -1,0 +1,108 @@
+"""Unit tests for the experiment result types and rendering."""
+
+import pytest
+
+from repro.experiments.base import FigureResult, Series, TableResult, format_value
+
+
+class TestFormatValue:
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_small_float_three_places(self):
+        assert format_value(0.1234) == "0.123"
+
+    def test_large_float_one_place(self):
+        assert format_value(143.21) == "143.2"
+
+    def test_string(self):
+        assert format_value("ccom") == "ccom"
+
+    def test_width_right_aligns(self):
+        assert format_value(7, width=4) == "   7"
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            Series("s", [1, 2], [1.0])
+
+    def test_point_lookup(self):
+        series = Series("s", [1, 2, 4], [10.0, 20.0, 40.0])
+        assert series.point(2) == 20.0
+
+    def test_point_missing(self):
+        with pytest.raises(KeyError):
+            Series("s", [1], [1.0]).point(99)
+
+
+@pytest.fixture
+def table():
+    return TableResult(
+        experiment_id="t",
+        title="demo",
+        headers=["program", "value"],
+        rows=[["ccom", 1.5], ["grr", 2]],
+        notes=["a note"],
+    )
+
+
+class TestTableResult:
+    def test_column(self, table):
+        assert table.column("value") == [1.5, 2]
+
+    def test_column_missing(self, table):
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+    def test_row_by_key(self, table):
+        assert table.row_by_key("grr") == ["grr", 2]
+
+    def test_row_by_key_missing(self, table):
+        with pytest.raises(KeyError):
+            table.row_by_key("zzz")
+
+    def test_render_contains_everything(self, table):
+        text = table.render()
+        assert "demo" in text
+        assert "ccom" in text
+        assert "1.500" in text
+        assert "note: a note" in text
+        # header separator present
+        assert "---" in text
+
+
+@pytest.fixture
+def figure():
+    return FigureResult(
+        experiment_id="f",
+        title="fig",
+        xlabel="x",
+        ylabel="y",
+        series=[Series("a", [1, 2], [1.0, 2.0]), Series("b", [1, 2], [3.0, 4.0])],
+    )
+
+
+class TestFigureResult:
+    def test_get(self, figure):
+        assert figure.get("b").y == [3.0, 4.0]
+
+    def test_get_missing(self, figure):
+        with pytest.raises(KeyError):
+            figure.get("zzz")
+
+    def test_labels(self, figure):
+        assert figure.labels == ["a", "b"]
+
+    def test_as_table_transposes(self, figure):
+        table = figure.as_table()
+        assert table.headers == ["x", "a", "b"]
+        assert table.rows[0] == [1, 1.0, 3.0]
+        assert table.rows[1] == [2, 2.0, 4.0]
+
+    def test_render_mentions_ylabel(self, figure):
+        assert "ylabel: y" in figure.render()
+
+    def test_empty_series_list(self):
+        figure = FigureResult("f", "t", "x", "y", series=[])
+        assert figure.as_table().rows == []

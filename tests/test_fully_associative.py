@@ -1,0 +1,185 @@
+"""Unit and property tests for the fully-associative cache.
+
+The LRU variant is verified against an independent reference model
+(explicit list, most recent at the end) under arbitrary access/fill
+interleavings — this cache underpins the miss cache, the victim cache,
+and the 3C shadow classifier, so its LRU order must be exactly right.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.caches.fully_associative import FullyAssociativeCache, ReplacementPolicy
+from repro.common.errors import ConfigurationError
+
+lines = st.integers(min_value=0, max_value=40)
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            FullyAssociativeCache(0)
+
+    def test_single_entry_ok(self):
+        cache = FullyAssociativeCache(1)
+        cache.fill(1)
+        assert cache.fill(2) == 1
+
+
+class TestLRUSemantics:
+    def test_evicts_least_recently_used(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.access(1)  # 2 becomes LRU
+        assert cache.fill(3) == 2
+
+    def test_access_refreshes(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.access(1)
+        assert cache.lru_line() == 2
+        assert cache.mru_line() == 1
+
+    def test_fill_resident_refreshes(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.fill(1) is None
+        assert cache.fill(3) == 2
+
+    def test_probe_does_not_refresh(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.probe(1)
+        assert cache.fill(3) == 1
+
+    def test_miss_access_returns_false(self):
+        cache = FullyAssociativeCache(2)
+        assert not cache.access(9)
+
+    def test_depth_of(self):
+        cache = FullyAssociativeCache(4)
+        for line in (1, 2, 3):
+            cache.fill(line)
+        assert cache.depth_of(3) == 0
+        assert cache.depth_of(2) == 1
+        assert cache.depth_of(1) == 2
+        assert cache.depth_of(99) is None
+
+    def test_lines_lru_to_mru(self):
+        cache = FullyAssociativeCache(3)
+        for line in (5, 6, 7):
+            cache.fill(line)
+        cache.access(5)
+        assert cache.lines_lru_to_mru() == [6, 7, 5]
+
+    def test_invalidate(self):
+        cache = FullyAssociativeCache(2)
+        cache.fill(1)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.occupancy() == 0
+
+    def test_empty_lru_mru(self):
+        cache = FullyAssociativeCache(2)
+        assert cache.lru_line() is None
+        assert cache.mru_line() is None
+
+
+class TestFIFOSemantics:
+    def test_evicts_oldest_regardless_of_access(self):
+        cache = FullyAssociativeCache(2, ReplacementPolicy.FIFO)
+        cache.fill(1)
+        cache.fill(2)
+        cache.access(1)  # FIFO ignores recency
+        assert cache.fill(3) == 1
+
+    def test_refill_does_not_reorder(self):
+        cache = FullyAssociativeCache(2, ReplacementPolicy.FIFO)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(1)
+        assert cache.fill(3) == 1
+
+
+class TestRandomSemantics:
+    def test_deterministic_with_seed(self):
+        a = FullyAssociativeCache(2, ReplacementPolicy.RANDOM, seed=7)
+        b = FullyAssociativeCache(2, ReplacementPolicy.RANDOM, seed=7)
+        for cache in (a, b):
+            cache.fill(1)
+            cache.fill(2)
+        assert a.fill(3) == b.fill(3)
+
+    def test_victim_is_resident(self):
+        cache = FullyAssociativeCache(3, ReplacementPolicy.RANDOM, seed=1)
+        for line in (1, 2, 3):
+            cache.fill(line)
+        victim = cache.fill(4)
+        assert victim in (1, 2, 3)
+
+
+class _LRUReference:
+    """Independent reference model: list ordered LRU -> MRU."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []
+
+    def access(self, line):
+        if line in self.order:
+            self.order.remove(line)
+            self.order.append(line)
+            return True
+        return False
+
+    def fill(self, line):
+        if line in self.order:
+            self.order.remove(line)
+            self.order.append(line)
+            return None
+        victim = None
+        if len(self.order) >= self.capacity:
+            victim = self.order.pop(0)
+        self.order.append(line)
+        return victim
+
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["access", "fill", "invalidate"]), lines),
+    max_size=300,
+)
+
+
+class TestLRUEquivalence:
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=8))
+    def test_matches_reference_model(self, ops, capacity):
+        cache = FullyAssociativeCache(capacity)
+        reference = _LRUReference(capacity)
+        for op, line in ops:
+            if op == "access":
+                assert cache.access(line) == reference.access(line)
+            elif op == "fill":
+                assert cache.fill(line) == reference.fill(line)
+            else:
+                was_resident = line in reference.order
+                if was_resident:
+                    reference.order.remove(line)
+                assert cache.invalidate(line) == was_resident
+            assert cache.lines_lru_to_mru() == reference.order
+
+    @given(ops=operations, capacity=st.integers(min_value=1, max_value=8))
+    def test_depth_matches_reference(self, ops, capacity):
+        cache = FullyAssociativeCache(capacity)
+        reference = _LRUReference(capacity)
+        for op, line in ops:
+            if op == "fill":
+                cache.fill(line)
+                reference.fill(line)
+        for line in reference.order:
+            expected_depth = len(reference.order) - 1 - reference.order.index(line)
+            assert cache.depth_of(line) == expected_depth

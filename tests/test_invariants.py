@@ -1,0 +1,146 @@
+"""Cross-cutting property tests: whole-system invariants on random traces.
+
+These hypothesis tests drive the full :class:`MemorySystem` (not single
+components) with arbitrary access streams and check the accounting
+identities every experiment silently relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.base import CompositeAugmentation
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig, SystemConfig
+from repro.common.types import AccessOutcome
+from repro.hierarchy.system import MemorySystem
+
+SMALL_SYSTEM = SystemConfig(
+    icache=CacheConfig(512, 16),
+    dcache=CacheConfig(512, 16),
+    l2=CacheConfig(8192, 128),
+)
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=1 << 14),
+    ),
+    max_size=400,
+)
+
+
+def build_system(daug=None):
+    return MemorySystem(SMALL_SYSTEM, daugmentation=daug)
+
+
+class TestAccountingIdentities:
+    @settings(deadline=None, max_examples=40)
+    @given(trace=accesses)
+    def test_outcomes_sum_to_accesses(self, trace):
+        system = build_system()
+        system.run(trace)
+        for stats in (system.ilevel.stats, system.dlevel.stats):
+            assert sum(stats.outcomes.values()) == stats.accesses
+        assert (
+            system.ilevel.stats.accesses + system.dlevel.stats.accesses
+            == len(trace)
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(trace=accesses)
+    def test_l2_demand_accesses_equal_l1_misses_to_next(self, trace):
+        system = build_system()
+        system.run(trace)
+        expected = (
+            system.ilevel.stats.misses_to_next_level
+            + system.dlevel.stats.misses_to_next_level
+        )
+        assert system.l2stats.demand_accesses == expected
+
+    @settings(deadline=None, max_examples=40)
+    @given(trace=accesses)
+    def test_miss_rate_bounds(self, trace):
+        system = build_system()
+        result = system.run(trace)
+        assert 0.0 <= result.imiss_rate <= 1.0
+        assert 0.0 <= result.dmiss_rate <= 1.0
+        assert result.effective_imiss_rate <= result.imiss_rate
+        assert result.effective_dmiss_rate <= result.dmiss_rate
+
+    @settings(deadline=None, max_examples=40)
+    @given(trace=accesses)
+    def test_augmentation_hits_match_level_outcomes(self, trace):
+        victim = VictimCache(3)
+        system = build_system(victim)
+        system.run(trace)
+        assert (
+            system.dlevel.stats.outcomes[AccessOutcome.VICTIM_HIT] == victim.hits
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(trace=accesses)
+    def test_composite_overlap_bounded_by_member_hits(self, trace):
+        victim = VictimCache(3)
+        stream = MultiWayStreamBuffer(2, 2)
+        composite = CompositeAugmentation([victim, stream])
+        system = build_system(composite)
+        system.run(trace)
+        assert composite.overlap_hits <= min(victim.hits, stream.hits)
+        removed = system.dlevel.stats.removed_misses
+        assert removed == victim.hits + stream.hits - composite.overlap_hits
+
+
+class TestAugmentationsNeverHurtMissCounts:
+    @settings(deadline=None, max_examples=30)
+    @given(trace=accesses)
+    def test_demand_misses_identical_across_augmentations(self, trace):
+        """No helper structure may change what the L1 array does."""
+        baseline = build_system()
+        baseline.run(trace)
+        for make in (
+            lambda: MissCache(2),
+            lambda: VictimCache(2),
+            lambda: StreamBuffer(2),
+            lambda: CompositeAugmentation([VictimCache(2), StreamBuffer(2)]),
+        ):
+            system = build_system(make())
+            system.run(trace)
+            assert (
+                system.dlevel.stats.demand_misses
+                == baseline.dlevel.stats.demand_misses
+            )
+
+    @settings(deadline=None, max_examples=30)
+    @given(trace=accesses)
+    def test_removed_plus_full_misses_conserved(self, trace):
+        system = build_system(VictimCache(4))
+        system.run(trace)
+        stats = system.dlevel.stats
+        assert stats.removed_misses + stats.misses_to_next_level == stats.demand_misses
+
+
+class TestDeterminism:
+    @settings(deadline=None, max_examples=20)
+    @given(trace=accesses)
+    def test_rerun_is_identical(self, trace):
+        first = build_system(VictimCache(2))
+        second = build_system(VictimCache(2))
+        first.run(trace)
+        second.run(trace)
+        assert first.dlevel.stats.outcomes == second.dlevel.stats.outcomes
+        assert first.l2stats == second.l2stats
+
+    @settings(deadline=None, max_examples=20)
+    @given(trace=accesses)
+    def test_reset_restores_pristine_behaviour(self, trace):
+        system = build_system(StreamBuffer(2))
+        system.run(trace)
+        outcomes_first = dict(system.dlevel.stats.outcomes)
+        system.reset()
+        system.run(trace)
+        assert system.dlevel.stats.outcomes == outcomes_first

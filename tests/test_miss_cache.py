@@ -1,0 +1,132 @@
+"""Unit tests for the miss cache (paper §3.1)."""
+
+import pytest
+
+from repro.buffers.miss_cache import MissCache
+from repro.caches.fully_associative import ReplacementPolicy
+from repro.common.config import CacheConfig
+from repro.common.types import AccessOutcome
+from repro.hierarchy.level import CacheLevel
+
+
+def drive(level, lines):
+    return [level.access_line(line) for line in lines]
+
+
+class TestMissCacheAlone:
+    def test_miss_then_hit_after_fill(self):
+        mc = MissCache(2)
+        assert not mc.lookup_on_miss(7, 0).satisfied
+        mc.on_l1_fill(7, None, 0)
+        result = mc.lookup_on_miss(7, 1)
+        assert result.satisfied
+        assert result.outcome is AccessOutcome.MISS_CACHE_HIT
+
+    def test_loads_requested_line_not_victim(self):
+        mc = MissCache(2)
+        mc.lookup_on_miss(7, 0)
+        mc.on_l1_fill(7, victim=3, now=0)
+        assert mc.contains(7)
+        assert not mc.contains(3)
+
+    def test_lru_eviction(self):
+        mc = MissCache(2)
+        for line in (1, 2, 3):
+            mc.lookup_on_miss(line, 0)
+            mc.on_l1_fill(line, None, 0)
+        assert not mc.contains(1)
+        assert mc.contains(2) and mc.contains(3)
+
+    def test_hit_refreshes_lru(self):
+        mc = MissCache(2)
+        for line in (1, 2):
+            mc.lookup_on_miss(line, 0)
+            mc.on_l1_fill(line, None, 0)
+        mc.lookup_on_miss(1, 0)  # hit: 1 becomes MRU
+        mc.on_l1_fill(1, None, 0)
+        mc.lookup_on_miss(3, 0)
+        mc.on_l1_fill(3, None, 0)
+        assert mc.contains(1) and not mc.contains(2)
+
+    def test_counters(self):
+        mc = MissCache(2)
+        mc.lookup_on_miss(1, 0)
+        mc.on_l1_fill(1, None, 0)
+        mc.lookup_on_miss(1, 0)
+        assert mc.lookups == 2
+        assert mc.hits == 1
+
+    def test_reset(self):
+        mc = MissCache(2, track_depths=True)
+        mc.lookup_on_miss(1, 0)
+        mc.on_l1_fill(1, None, 0)
+        mc.lookup_on_miss(1, 0)
+        mc.reset()
+        assert mc.hits == 0 and mc.lookups == 0
+        assert mc.occupancy() == 0
+        assert mc.hit_depths.total() == 0
+
+    def test_depth_tracking(self):
+        mc = MissCache(4, track_depths=True)
+        for line in (1, 2):
+            mc.lookup_on_miss(line, 0)
+            mc.on_l1_fill(line, None, 0)
+        mc.lookup_on_miss(1, 0)  # depth 1 (2 is MRU)
+        assert mc.hit_depths.counts == {1: 1}
+
+    def test_fifo_policy(self):
+        mc = MissCache(2, policy=ReplacementPolicy.FIFO)
+        for line in (1, 2):
+            mc.lookup_on_miss(line, 0)
+            mc.on_l1_fill(line, None, 0)
+        mc.lookup_on_miss(1, 0)  # FIFO: no refresh
+        mc.on_l1_fill(1, None, 0)
+        mc.lookup_on_miss(3, 0)
+        mc.on_l1_fill(3, None, 0)
+        assert not mc.contains(1)
+
+
+class TestMissCacheBehindLevel:
+    def test_string_compare_pattern_needs_two_entries(self, l1_config):
+        """The paper's §3.1 example: alternating conflicting lines.
+
+        A 2-entry miss cache removes all misses after warmup; a 1-entry
+        one removes none (each miss evicts the other line).
+        """
+        a, b = 0, 256  # same set in a 256-line cache
+        pattern = [a, b] * 40
+
+        two = CacheLevel(l1_config, MissCache(2))
+        drive(two, pattern)
+        # first two misses are cold; the rest hit the miss cache
+        assert two.stats.outcomes[AccessOutcome.MISS_CACHE_HIT] == len(pattern) - 2
+
+        one = CacheLevel(l1_config, MissCache(1))
+        drive(one, pattern)
+        assert one.stats.outcomes[AccessOutcome.MISS_CACHE_HIT] == 0
+
+    def test_duplication_wastes_space(self, l1_config):
+        """Every miss-cache entry duplicates an L1 line right after a fill."""
+        level = CacheLevel(l1_config, MissCache(4))
+        for line in (10, 20, 30):
+            level.access_line(line)
+        mc = level.augmentation
+        for line in (10, 20, 30):
+            assert mc.contains(line)
+            assert level.cache.probe(line)
+
+    def test_l1_state_independent_of_miss_cache(self, l1_config):
+        """The key single-pass-sweep property: L1 evolves identically."""
+        import random
+
+        rng = random.Random(3)
+        pattern = [rng.randrange(1024) for _ in range(2000)]
+        plain = CacheLevel(l1_config)
+        with_mc = CacheLevel(l1_config, MissCache(4))
+        for line in pattern:
+            plain.access_line(line)
+            with_mc.access_line(line)
+        assert sorted(plain.cache.resident_lines()) == sorted(
+            with_mc.cache.resident_lines()
+        )
+        assert plain.stats.demand_misses == with_mc.stats.demand_misses

@@ -1,0 +1,230 @@
+"""Integration tests for the paper's headline claims (DESIGN.md §4).
+
+Each test pins one qualitative result the reproduction must preserve.
+They run on the mid-size claims suite, so the numbers carry enough
+weight to be stable across seeds at these tolerances.
+"""
+
+import pytest
+
+from repro.buffers.base import CompositeAugmentation
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.common.stats import percent
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import miss_cache_sweep, victim_cache_sweep
+
+CONFIG = CacheConfig(4096, 16)
+
+
+def average(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+@pytest.fixture(scope="module")
+def data_sweeps(claims_suite):
+    return {
+        trace.name: {
+            "mc": miss_cache_sweep(trace.data_addresses, CONFIG),
+            "vc": victim_cache_sweep(trace.data_addresses, CONFIG),
+        }
+        for trace in claims_suite
+    }
+
+
+@pytest.fixture(scope="module")
+def stream_removal(claims_suite):
+    """Percent of misses removed by single/4-way buffers, per side."""
+    out = {}
+    for trace in claims_suite:
+        per_trace = {}
+        for side in ("i", "d"):
+            stream = trace.stream(side)
+            base = run_level(stream, CONFIG)
+            if base.misses == 0:
+                per_trace[side] = None
+                continue
+            single = run_level(stream, CONFIG, StreamBuffer(4))
+            multi = run_level(stream, CONFIG, MultiWayStreamBuffer(4, 4))
+            per_trace[side] = (
+                percent(single.removed, base.misses),
+                percent(multi.removed, base.misses),
+            )
+        out[trace.name] = per_trace
+    return out
+
+
+class TestSection3MissAndVictimCaching:
+    def test_victim_beats_miss_cache_everywhere(self, data_sweeps):
+        """§3.2: 'Victim caching is always an improvement over miss
+        caching.'"""
+        for name, sweeps in data_sweeps.items():
+            for entries in (1, 2, 4, 8, 15):
+                assert (
+                    sweeps["vc"].removed(entries) >= sweeps["mc"].removed(entries)
+                ), (name, entries)
+
+    def test_one_entry_victim_caches_are_useful(self, data_sweeps):
+        """§3.2: one-line victim caches help; one-line miss caches do
+        essentially nothing (the requested line duplicates L1)."""
+        vc1 = [s["vc"].percent_of_misses_removed(1) for s in data_sweeps.values()]
+        mc1 = [s["mc"].percent_of_misses_removed(1) for s in data_sweeps.values()]
+        assert average(vc1) > 5.0
+        assert average(mc1) < average(vc1) / 3
+
+    def test_two_entry_miss_cache_removes_meaningful_conflicts(self, data_sweeps):
+        """§3.1: a 2-entry miss cache removes a noticeable share of data
+        conflict misses (25% in the paper)."""
+        shares = [
+            sweeps["mc"].percent_of_conflicts_removed(2)
+            for sweeps in data_sweeps.values()
+            if sweeps["mc"].conflict_misses > 0
+        ]
+        assert average(shares) > 8.0
+
+    def test_benefit_saturates_after_four_entries(self, data_sweeps):
+        """§3.1: 'After four entries the improvement from additional
+        miss cache entries is minor.'"""
+        for name, sweeps in data_sweeps.items():
+            four = sweeps["vc"].removed(4)
+            fifteen = sweeps["vc"].removed(15)
+            total = sweeps["vc"].total_misses
+            if total == 0:
+                continue
+            assert (fifteen - four) / total < 0.25, name
+
+    def test_met_gains_most_from_victim_caching(self, data_sweeps):
+        """§3.1/Figure 3-3: met has the most removable conflicts."""
+        removal = {
+            name: sweeps["vc"].percent_of_misses_removed(4)
+            for name, sweeps in data_sweeps.items()
+        }
+        assert max(removal, key=removal.get) == "met"
+
+    def test_linpack_and_liver_benefit_least(self, data_sweeps):
+        """§5: linpack benefits least from victim caching."""
+        removal = {
+            name: sweeps["vc"].percent_of_misses_removed(4)
+            for name, sweeps in data_sweeps.items()
+        }
+        weakest_two = sorted(removal, key=removal.get)[:2]
+        assert set(weakest_two) == {"linpack", "liver"}
+
+
+class TestSection35CacheAndLineSizeTrends:
+    def test_victim_cache_benefit_falls_with_cache_size(self, claims_suite):
+        """Figure 3-6: smaller direct-mapped caches benefit most."""
+        removals = []
+        for size in (1024, 4096, 32 * 1024, 128 * 1024):
+            config = CacheConfig(size, 16)
+            shares = []
+            for trace in claims_suite:
+                sweep = victim_cache_sweep(trace.data_addresses, config, max_entries=4)
+                if sweep.total_misses:
+                    shares.append(sweep.percent_of_misses_removed(4))
+            removals.append(average(shares))
+        assert removals[0] > removals[-1]
+        assert removals[1] > removals[-1]
+
+    def test_victim_cache_benefit_rises_with_line_size(self, claims_suite):
+        """Figure 3-7: longer lines mean more removable conflicts."""
+        shares_by_line = []
+        for line_size in (16, 64, 256):
+            config = CacheConfig(4096, line_size)
+            shares = []
+            for trace in claims_suite:
+                sweep = victim_cache_sweep(trace.data_addresses, config, max_entries=4)
+                if sweep.conflict_misses:
+                    shares.append(sweep.percent_of_conflicts_removed(4))
+            shares_by_line.append(average(shares))
+        assert shares_by_line[0] < shares_by_line[1] < shares_by_line[2]
+
+
+class TestSection4StreamBuffers:
+    def test_instruction_side_beats_data_side(self, stream_removal):
+        """§4.2: ~72% of I-misses removed vs ~25% of D-misses (single)."""
+        i_single = average(
+            [v["i"][0] for v in stream_removal.values() if v["i"] is not None]
+        )
+        d_single = average(
+            [v["d"][0] for v in stream_removal.values() if v["d"] is not None]
+        )
+        assert i_single > 60.0
+        assert d_single < i_single / 2
+
+    def test_multiway_roughly_doubles_data_side(self, stream_removal):
+        """§4.2: 4-way removes 43% of data misses, ~2x the single buffer."""
+        d_single = average(
+            [v["d"][0] for v in stream_removal.values() if v["d"] is not None]
+        )
+        d_multi = average(
+            [v["d"][1] for v in stream_removal.values() if v["d"] is not None]
+        )
+        assert d_multi > 1.5 * d_single
+
+    def test_multiway_leaves_instruction_side_unchanged(self, stream_removal):
+        """§4.2: instruction-side performance 'virtually unchanged'."""
+        for name, v in stream_removal.items():
+            if v["i"] is None:
+                continue
+            single, multi = v["i"]
+            assert multi <= single + 10.0, name
+
+    def test_liver_jumps_with_multiway(self, stream_removal):
+        """§4.2: liver goes from 7% (single) to 60% (4-way)."""
+        single, multi = stream_removal["liver"]["d"]
+        assert single < 20.0
+        assert multi > 50.0
+        assert multi > 4 * single
+
+    def test_linpack_streams_even_through_a_single_buffer(self, stream_removal):
+        """§4.1: linpack's misses are one long sequential stream."""
+        single, _ = stream_removal["linpack"]["d"]
+        assert single > 40.0
+
+
+class TestSection5CombinedSystem:
+    def test_combined_halves_miss_rate(self, claims_suite):
+        """§5: 'reduce the miss rate of the first level ... by a factor
+        of two to three' — misses reaching the L2 drop by >= 2x."""
+        total_base = 0
+        total_improved = 0
+        for trace in claims_suite:
+            for side, augmentation in (
+                ("i", StreamBuffer(4)),
+                (
+                    "d",
+                    CompositeAugmentation(
+                        [VictimCache(4), MultiWayStreamBuffer(4, 4)]
+                    ),
+                ),
+            ):
+                stream = trace.stream(side)
+                base = run_level(stream, CONFIG)
+                improved = run_level(stream, CONFIG, augmentation)
+                total_base += base.stats.misses_to_next_level
+                total_improved += improved.stats.misses_to_next_level
+        assert total_improved * 2 < total_base
+
+    def test_overlap_is_small_except_linpack(self, claims_suite):
+        """§5: only 2.5% of VC-hitting misses also hit a stream buffer,
+        except linpack where half the VC hits overlap."""
+        for trace in claims_suite:
+            victim = VictimCache(4)
+            stream = MultiWayStreamBuffer(4, 4)
+            composite = CompositeAugmentation([victim, stream])
+            run = run_level(trace.data_addresses, CONFIG, composite)
+            if trace.name == "linpack":
+                assert percent(composite.overlap_hits, victim.hits) > 30.0
+            else:
+                assert percent(composite.overlap_hits, run.misses) < 12.0
+
+    def test_linpack_victim_hits_are_rare(self, claims_suite):
+        """§5: 'only 4% of linpack's cache misses hit in the victim
+        cache.'"""
+        linpack = next(t for t in claims_suite if t.name == "linpack")
+        victim = VictimCache(4)
+        run = run_level(linpack.data_addresses, CONFIG, victim)
+        assert percent(victim.hits, run.misses) < 12.0

@@ -1,0 +1,237 @@
+"""Unit tests for the synthetic reference-pattern building blocks."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.common.types import IFETCH, LOAD, STORE
+from repro.traces.patterns import (
+    Phase,
+    ProcedureFabric,
+    alternate_code,
+    bursty,
+    conflicting_streams,
+    interleave_phase,
+    interleaved_streams,
+    loop_calling_helper,
+    loop_code,
+    mix,
+    pointer_chase,
+    random_working_set,
+    run_phases,
+    stack_traffic,
+    straight_code,
+    stride_stream,
+    string_compare,
+)
+
+
+def take(iterator, n):
+    return list(itertools.islice(iter(iterator), n))
+
+
+class TestCodePatterns:
+    def test_straight_code(self):
+        assert list(straight_code(100, 3)) == [100, 104, 108]
+
+    def test_straight_code_instr_size(self):
+        assert list(straight_code(0, 3, instr_size=8)) == [0, 8, 16]
+
+    def test_loop_code_cycles(self):
+        out = take(loop_code(0, 4), 10)
+        assert out == [0, 4, 8, 12, 0, 4, 8, 12, 0, 4]
+
+    def test_loop_calling_helper_shape(self):
+        gen = loop_calling_helper(0, 10_000, loop_instrs=4, helper_instrs=2)
+        one_iteration = take(gen, 6)
+        # first half (2), helper (2), second half (2)
+        assert one_iteration == [0, 4, 10_000, 10_004, 8, 12]
+
+    def test_alternate_code_draws_from_both(self):
+        rng = random.Random(0)
+        a = itertools.repeat(1)
+        b = itertools.repeat(2)
+        out = take(alternate_code(rng, a, b, 5, 5), 200)
+        assert 1 in out and 2 in out
+
+
+class TestProcedureFabric:
+    def test_deterministic_for_seed(self):
+        streams = []
+        for _ in range(2):
+            rng = random.Random(42)
+            fabric = ProcedureFabric(rng, num_procedures=16, code_span=16 * 1024)
+            streams.append(take(fabric, 500))
+        assert streams[0] == streams[1]
+
+    def test_addresses_aligned_to_instr_size(self):
+        rng = random.Random(1)
+        fabric = ProcedureFabric(rng, num_procedures=8)
+        assert all(addr % 4 == 0 for addr in take(fabric, 500))
+
+    def test_packed_layout_footprint(self):
+        rng = random.Random(1)
+        fabric = ProcedureFabric(
+            rng, num_procedures=10, mean_proc_instrs=50, layout="packed", code_base=0x1000
+        )
+        total = sum(p.instrs for p in fabric.procedures)
+        last = fabric.procedures[-1]
+        assert fabric.procedures[0].base == 0x1000
+        assert last.base + last.instrs * 4 <= 0x1000 + (total + 4 * 10) * 4
+
+    def test_packed_procedures_do_not_overlap(self):
+        rng = random.Random(5)
+        fabric = ProcedureFabric(rng, num_procedures=10, layout="packed")
+        spans = sorted((p.base, p.base + p.instrs * 4) for p in fabric.procedures)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ValueError):
+            ProcedureFabric(random.Random(0), layout="heap")
+
+    def test_rejects_zero_procedures(self):
+        with pytest.raises(ValueError):
+            ProcedureFabric(random.Random(0), num_procedures=0)
+
+    def test_hot_aligned_share_frame_offset(self):
+        rng = random.Random(3)
+        fabric = ProcedureFabric(
+            rng, num_procedures=16, code_span=64 * 1024, hot_count=4, hot_aligned=4
+        )
+        offsets = [p.base % 4096 for p in fabric.procedures[:4]]
+        assert all(offset < 32 * 4 for offset in offsets)
+
+    def test_runs_are_mostly_sequential(self):
+        rng = random.Random(7)
+        fabric = ProcedureFabric(rng, num_procedures=16, call_prob=0.02)
+        addrs = take(fabric, 2000)
+        sequential = sum(
+            1 for a, b in zip(addrs, addrs[1:]) if b == a + 4
+        )
+        assert sequential / len(addrs) > 0.8
+
+
+class TestDataPatterns:
+    def test_stride_stream_wraps(self):
+        out = take(stride_stream(100, 16, 8), 4)
+        assert out == [100, 108, 100, 108]
+
+    def test_stride_stream_offset(self):
+        assert take(stride_stream(0, 16, 8, offset=8), 2) == [8, 0]
+
+    def test_stride_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next(stride_stream(0, 16, 0))
+
+    def test_interleaved_streams_round_robin(self):
+        out = take(interleaved_streams([iter([1, 3]), iter([2, 4])]), 4)
+        assert out == [1, 2, 3, 4]
+
+    def test_interleaved_requires_streams(self):
+        with pytest.raises(ValueError):
+            next(interleaved_streams([]))
+
+    def test_string_compare_alternates(self):
+        out = take(string_compare(0, 1000, length_bytes=2), 6)
+        assert out == [0, 1000, 1, 1001, 0, 1000]
+
+    def test_conflicting_streams_lockstep(self):
+        out = take(conflicting_streams((0, 100), 8, 4), 6)
+        assert out == [0, 100, 4, 104, 0, 100]
+
+    def test_conflicting_requires_bases(self):
+        with pytest.raises(ValueError):
+            next(conflicting_streams((), 8, 4))
+
+    def test_random_working_set_bounds(self):
+        rng = random.Random(0)
+        out = take(random_working_set(rng, 1000, 64, granule=4), 200)
+        assert all(1000 <= a < 1064 for a in out)
+        assert all((a - 1000) % 4 == 0 for a in out)
+
+    def test_pointer_chase_visits_every_node(self):
+        rng = random.Random(0)
+        out = take(pointer_chase(rng, 0, num_nodes=8, node_size=32, fields_per_visit=1), 8)
+        assert sorted(a // 32 for a in out) == list(range(8))
+
+    def test_pointer_chase_deterministic(self):
+        a = take(pointer_chase(random.Random(5), 0, 8), 32)
+        b = take(pointer_chase(random.Random(5), 0, 8), 32)
+        assert a == b
+
+    def test_stack_traffic_stays_in_window(self):
+        rng = random.Random(0)
+        out = take(stack_traffic(rng, 5000, frame_bytes=64, depth_frames=4), 300)
+        assert all(5000 <= a < 5000 + 4 * 64 for a in out)
+
+    def test_bursty_emits_contiguous_runs(self):
+        rng = random.Random(0)
+        background = itertools.repeat(99)
+        out = take(bursty(rng, background, 0, 4096, burst_prob=1.0, burst_bytes=32, stride=4), 8)
+        assert out == [0, 4, 8, 12, 16, 20, 24, 28]
+
+    def test_bursty_zero_prob_is_background(self):
+        rng = random.Random(0)
+        out = take(bursty(rng, itertools.repeat(7), 0, 4096, burst_prob=0.0), 10)
+        assert out == [7] * 10
+
+
+class TestMix:
+    def test_respects_weights_roughly(self):
+        rng = random.Random(0)
+        out = take(mix(rng, [itertools.repeat(1), itertools.repeat(2)], [0.9, 0.1]), 2000)
+        ones = out.count(1)
+        assert 1700 < ones < 1990
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            next(mix(random.Random(0), [itertools.repeat(1)], [0.5, 0.5]))
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            next(mix(random.Random(0), [itertools.repeat(1)], [-1.0]))
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            next(mix(random.Random(0), [itertools.repeat(1)], [0.0]))
+
+
+class TestPhaseInterleaving:
+    def _phase(self, data_per_instr, instructions=100, store_fraction=0.5):
+        return Phase(
+            name="p",
+            instructions=instructions,
+            code=loop_code(0, 8),
+            data=stride_stream(10_000, 1024, 4),
+            data_per_instr=data_per_instr,
+            store_fraction=store_fraction,
+        )
+
+    def test_exact_instruction_count(self):
+        out = list(interleave_phase(self._phase(0.5), random.Random(0)))
+        assert sum(1 for k, _ in out if k == int(IFETCH)) == 100
+
+    def test_exact_data_ratio(self):
+        out = list(interleave_phase(self._phase(0.5), random.Random(0)))
+        data = [p for p in out if p[0] != int(IFETCH)]
+        assert len(data) == 50
+
+    def test_data_never_precedes_first_instruction(self):
+        out = list(interleave_phase(self._phase(0.9), random.Random(0)))
+        assert out[0][0] == int(IFETCH)
+
+    def test_store_fraction_zero(self):
+        out = list(interleave_phase(self._phase(1.0, store_fraction=0.0), random.Random(0)))
+        assert all(k != int(STORE) for k, _ in out)
+
+    def test_store_fraction_one(self):
+        out = list(interleave_phase(self._phase(1.0, store_fraction=1.0), random.Random(0)))
+        data_kinds = {k for k, _ in out if k != int(IFETCH)}
+        assert data_kinds == {int(STORE)}
+
+    def test_run_phases_concatenates(self):
+        phases = [self._phase(0.0, instructions=10), self._phase(0.0, instructions=5)]
+        out = list(run_phases(phases, random.Random(0)))
+        assert len(out) == 15

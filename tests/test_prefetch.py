@@ -1,0 +1,129 @@
+"""Unit tests for the classical prefetch schemes (paper §4, Smith)."""
+
+import pytest
+
+from repro.buffers.prefetch import PrefetchingCache, PrefetchScheme
+from repro.common.config import CacheConfig
+
+
+@pytest.fixture
+def config():
+    return CacheConfig(4096, 16)
+
+
+def access_all(cache, lines, start_time=0):
+    hits = 0
+    for i, line in enumerate(lines):
+        if cache.access(line, start_time + i):
+            hits += 1
+    return hits
+
+
+class TestPrefetchOnMiss:
+    def test_halves_sequential_misses(self, config):
+        """§4: 'it can cut the number of misses for a purely sequential
+        reference stream in half.'"""
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        access_all(cache, range(1000, 1100))
+        assert cache.stats.demand_misses == 50
+
+    def test_prefetches_only_on_miss(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        cache.access(10, 0)  # miss -> prefetch 11
+        issued_after_miss = cache.stats.prefetches_issued
+        cache.access(10, 1)  # hit -> no new prefetch
+        assert cache.stats.prefetches_issued == issued_after_miss
+
+
+class TestTaggedPrefetch:
+    def test_sequential_misses_drop_to_one(self, config):
+        """§4: tagged prefetch 'can reduce the number of misses in a
+        purely sequential reference stream to zero' (after the first)."""
+        cache = PrefetchingCache(config, PrefetchScheme.TAGGED)
+        access_all(cache, range(1000, 1100))
+        assert cache.stats.demand_misses == 1
+
+    def test_zero_to_one_transition_triggers(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.TAGGED)
+        cache.access(10, 0)        # miss 10: fetch 10, prefetch 11 (tag 0)
+        before = cache.stats.prefetches_issued
+        cache.access(11, 1)        # first use of 11: 0->1, prefetch 12
+        assert cache.stats.prefetches_issued == before + 1
+        cache.access(11, 2)        # second use: tag already 1, no prefetch
+        assert cache.stats.prefetches_issued == before + 1
+
+
+class TestPrefetchAlways:
+    def test_every_access_prefetches_successor(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ALWAYS)
+        cache.access(10, 0)
+        cache.access(10, 1)  # hit, but ALWAYS still wants 11
+        assert cache.cache.probe(11)
+
+    def test_sequential_misses_drop_to_one(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ALWAYS)
+        access_all(cache, range(2000, 2100))
+        assert cache.stats.demand_misses == 1
+
+
+class TestLeadTimes:
+    def test_lead_time_measures_issue_to_use(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        cache.access(10, now=100)   # miss; prefetch 11 issued at 100
+        cache.access(11, now=107)   # used 7 issues later
+        assert cache.stats.useful_prefetches == 1
+        assert cache.stats.lead_times.counts == {7: 1}
+
+    def test_percent_needed_within(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        cache.access(10, now=0)
+        cache.access(11, now=3)     # lead 3
+        cache.access(20, now=10)
+        cache.access(21, now=30)    # lead 20
+        assert cache.stats.percent_needed_within(3) == 50.0
+        assert cache.stats.percent_needed_within(20) == 100.0
+
+    def test_wasted_prefetch_counted_on_overwrite(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        cache.access(10, 0)          # prefetch 11 (never used)
+        conflicting = 11 + 256       # same set as line 11
+        cache.access(conflicting, 1)  # demand fill overwrites 11
+        assert cache.stats.wasted_prefetches == 1
+        assert cache.stats.useful_prefetches == 0
+
+    def test_no_duplicate_outstanding_prefetch(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ALWAYS)
+        cache.access(10, 0)
+        cache.access(10, 1)
+        cache.access(10, 2)
+        assert cache.stats.prefetches_issued == 1  # 11 already pending
+
+
+class TestMissRateAndReset:
+    def test_miss_rate(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        access_all(cache, [1, 1, 1, 500])
+        assert cache.stats.accesses == 4
+        assert cache.stats.miss_rate == pytest.approx(2 / 4)
+
+    def test_empty_miss_rate(self, config):
+        assert PrefetchingCache(config, PrefetchScheme.TAGGED).stats.miss_rate == 0.0
+
+    def test_reset(self, config):
+        cache = PrefetchingCache(config, PrefetchScheme.TAGGED)
+        access_all(cache, range(50))
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert not cache.cache.probe(0)
+
+
+class TestPollution:
+    def test_prefetch_into_cache_can_evict_useful_line(self, config):
+        """The §4.1 contrast with stream buffers: classical prefetch
+        places lines in the cache and may pollute it."""
+        cache = PrefetchingCache(config, PrefetchScheme.ON_MISS)
+        victim_line = 11 + 256
+        cache.access(victim_line, 0)   # resident, useful
+        assert cache.cache.probe(victim_line)
+        cache.access(10, 1)            # miss -> prefetch 11, evicting it
+        assert not cache.cache.probe(victim_line)

@@ -1,0 +1,56 @@
+"""Tests for the Markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_selected_experiments_only(self, small_suite):
+        text = generate_report(["table_1_1"], traces=small_suite)
+        assert "## table_1_1" in text
+        assert "## table_2_2" not in text
+
+    def test_unknown_experiment_rejected(self, small_suite):
+        with pytest.raises(KeyError, match="bogus"):
+            generate_report(["bogus"], traces=small_suite)
+
+    def test_header_names_the_paper(self, small_suite):
+        text = generate_report(["table_1_1"], traces=small_suite)
+        assert "Improving Direct-Mapped Cache Performance" in text
+        assert "Suite: ccom, grr, yacc, met, linpack, liver" in text
+
+    def test_figures_get_charts(self, small_suite):
+        text = generate_report(["figure_4_6"], traces=small_suite)
+        assert "A = single, I-cache" in text
+
+    def test_charts_can_be_disabled(self, small_suite):
+        text = generate_report(
+            ["figure_4_6"], traces=small_suite, include_charts=False
+        )
+        assert "A = single, I-cache" not in text
+
+    def test_tables_get_no_charts(self, small_suite):
+        text = generate_report(["table_1_1"], traces=small_suite)
+        assert "A = " not in text
+
+    def test_code_fences_balanced(self, small_suite):
+        text = generate_report(["table_1_1", "figure_3_1"], traces=small_suite)
+        assert text.count("```") % 2 == 0
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, small_suite):
+        path = write_report(
+            tmp_path / "report.md", ["table_1_1"], traces=small_suite
+        )
+        assert path.exists()
+        assert "## table_1_1" in path.read_text()
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        target = tmp_path / "out.md"
+        assert main(["table_1_1", "--report", str(target), "--scale", "300"]) == 0
+        assert target.exists()
+        assert "wrote report" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Seed robustness: the paper's claims must not be a seed-0 accident.
+
+The synthetic workloads are calibrated with seed 0; these tests rebuild
+the suite with a different seed and re-check the headline shapes, which
+guards the calibration against overfitting to one random stream.
+"""
+
+import pytest
+
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import victim_cache_sweep
+from repro.hierarchy.system import MemorySystem
+from repro.traces.registry import BENCHMARK_NAMES, build_trace
+
+CONFIG = CacheConfig(4096, 16)
+ALT_SEED = 17
+SCALE = 15_000
+
+
+@pytest.fixture(scope="module")
+def alt_suite():
+    return [build_trace(name, SCALE, seed=ALT_SEED).materialize() for name in BENCHMARK_NAMES]
+
+
+class TestMissRateShapesSurviveReseeding:
+    def test_numeric_codes_still_have_no_instruction_misses(self, alt_suite):
+        # liver's 14 kernels cold-start ~150 code lines; at this reduced
+        # test scale that is ~1% and shrinks with trace length.
+        for name in ("linpack", "liver"):
+            trace = next(t for t in alt_suite if t.name == name)
+            result = MemorySystem().run(trace)
+            assert result.imiss_rate < 0.02
+
+    def test_data_rate_ordering_holds(self, alt_suite):
+        rates = {t.name: MemorySystem().run(t).dmiss_rate for t in alt_suite}
+        assert rates["liver"] > rates["linpack"] > rates["ccom"] > rates["met"]
+
+
+class TestStructureShapesSurviveReseeding:
+    def test_victim_beats_miss_cache(self, alt_suite):
+        for trace in alt_suite:
+            addresses = trace.data_addresses
+            for entries in (1, 4):
+                vc = run_level(addresses, CONFIG, VictimCache(entries)).removed
+                mc = run_level(addresses, CONFIG, MissCache(entries)).removed
+                assert vc >= mc, (trace.name, entries)
+
+    def test_met_still_strongest_victim_cache_customer(self, alt_suite):
+        removal = {}
+        for trace in alt_suite:
+            sweep = victim_cache_sweep(trace.data_addresses, CONFIG, max_entries=4)
+            removal[trace.name] = sweep.percent_of_misses_removed(4)
+        assert max(removal, key=removal.get) == "met"
+
+    def test_stream_buffer_i_over_d_holds(self, alt_suite):
+        i_pcts, d_pcts = [], []
+        for trace in alt_suite:
+            for side, sink in (("i", i_pcts), ("d", d_pcts)):
+                stream = trace.stream(side)
+                base = run_level(stream, CONFIG)
+                if base.misses == 0:
+                    continue
+                removed = run_level(stream, CONFIG, StreamBuffer(4)).removed
+                sink.append(100.0 * removed / base.misses)
+        assert sum(i_pcts) / len(i_pcts) > 2 * sum(d_pcts) / len(d_pcts)
+
+    def test_liver_multiway_jump_holds(self, alt_suite):
+        liver = next(t for t in alt_suite if t.name == "liver")
+        addresses = liver.data_addresses
+        base = run_level(addresses, CONFIG)
+        single = run_level(addresses, CONFIG, StreamBuffer(4)).removed
+        multi = run_level(addresses, CONFIG, MultiWayStreamBuffer(4, 4)).removed
+        assert multi > 4 * max(1, single)
+        assert 100.0 * multi / base.misses > 50.0

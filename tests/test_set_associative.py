@@ -1,0 +1,124 @@
+"""Unit and property tests for the set-associative cache.
+
+The degenerate cases anchor it to the other two models: a 1-way
+set-associative cache must behave exactly like the direct-mapped cache,
+and an all-way (single-set) one exactly like the fully-associative LRU
+cache.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.caches.direct_mapped import DirectMappedCache
+from repro.caches.fully_associative import FullyAssociativeCache
+from repro.caches.set_associative import SetAssociativeCache
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+
+lines = st.integers(min_value=0, max_value=1 << 12)
+
+
+class TestConstruction:
+    def test_geometry(self):
+        cache = SetAssociativeCache(CacheConfig(4096, 16), ways=4)
+        assert cache.num_sets == 64
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(CacheConfig(4096, 16), ways=0)
+
+    def test_rejects_indivisible_ways(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeCache(CacheConfig(4096, 16), ways=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        # 256 lines / 32 ways = 8 sets (fine); 256 / 64 = 4 (fine);
+        # a case yielding non-power-of-two sets needs indivisible ways,
+        # already rejected; all-way is the single-set case:
+        cache = SetAssociativeCache(CacheConfig(4096, 16), ways=256)
+        assert cache.num_sets == 1
+
+
+class TestBasicOperation:
+    def test_per_set_lru(self):
+        cache = SetAssociativeCache(CacheConfig(64, 16), ways=2)  # 2 sets
+        cache.fill(0)   # set 0
+        cache.fill(2)   # set 0
+        cache.access(0)
+        assert cache.fill(4) == 2  # set 0 evicts LRU (2)
+
+    def test_other_sets_unaffected(self):
+        cache = SetAssociativeCache(CacheConfig(64, 16), ways=2)
+        cache.fill(1)  # set 1
+        cache.fill(0)
+        cache.fill(2)
+        cache.fill(4)  # churn set 0
+        assert cache.probe(1)
+
+    def test_invalidate(self):
+        cache = SetAssociativeCache(CacheConfig(64, 16), ways=2)
+        cache.fill(3)
+        assert cache.invalidate(3)
+        assert not cache.invalidate(3)
+
+    def test_resident_lines_and_clear(self):
+        cache = SetAssociativeCache(CacheConfig(64, 16), ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        assert sorted(cache.resident_lines()) == [0, 1]
+        cache.clear()
+        assert cache.occupancy() == 0
+
+    def test_set_contents_order(self):
+        cache = SetAssociativeCache(CacheConfig(64, 16), ways=2)
+        cache.fill(0)
+        cache.fill(2)
+        cache.access(0)
+        assert cache.set_contents_lru_to_mru(0) == [2, 0]
+
+
+class TestDegenerateEquivalence:
+    @given(refs=st.lists(lines, max_size=300))
+    def test_one_way_equals_direct_mapped(self, refs):
+        config = CacheConfig(256, 16)
+        sa = SetAssociativeCache(config, ways=1)
+        dm = DirectMappedCache(config)
+        for line in refs:
+            assert sa.access_and_fill(line) == dm.access_and_fill(line)
+
+    @given(refs=st.lists(lines, max_size=300))
+    def test_all_way_equals_fully_associative(self, refs):
+        config = CacheConfig(256, 16)
+        sa = SetAssociativeCache(config, ways=config.num_lines)
+        fa = FullyAssociativeCache(config.num_lines)
+        for line in refs:
+            assert sa.access_and_fill(line) == fa.access_and_fill(line)
+
+    @given(refs=st.lists(lines, max_size=300), ways=st.sampled_from([1, 2, 4, 8]))
+    def test_occupancy_bounded(self, refs, ways):
+        cache = SetAssociativeCache(CacheConfig(256, 16), ways=ways)
+        for line in refs:
+            cache.access_and_fill(line)
+        assert cache.occupancy() <= 16
+
+
+class TestAssociativityMonotonicity:
+    @given(refs=st.lists(lines, min_size=10, max_size=300))
+    def test_more_ways_never_more_misses_on_looping_patterns(self, refs):
+        """LRU inclusion: k-way misses >= 2k-way misses for same capacity?
+
+        This is NOT true in general (Belady anomalies exist for some
+        patterns with LRU across different set counts), so assert the
+        weaker sanity property: the fully-associative configuration has
+        no conflict misses by definition -- replaying the trace twice,
+        the second pass of an all-way cache over a footprint within
+        capacity misses nothing.
+        """
+        config = CacheConfig(256, 16)
+        footprint = sorted(set(line % 16 for line in refs))
+        cache = SetAssociativeCache(config, ways=config.num_lines)
+        for line in footprint:
+            cache.access_and_fill(line)
+        for line in footprint:
+            assert cache.access_and_fill(line)

@@ -1,0 +1,130 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+These drive a cache level through arbitrary interleaved operations and
+check the paper's structural invariants after *every* step — stronger
+than example-based tests because hypothesis searches for the operation
+sequence that breaks them.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.hierarchy.level import CacheLevel
+
+CONFIG = CacheConfig(512, 16)  # 32 sets — small enough to conflict often
+lines = st.integers(min_value=0, max_value=255)
+
+
+class VictimCacheMachine(RuleBasedStateMachine):
+    """Exclusivity and accounting invariants of a victim-cached level."""
+
+    def __init__(self):
+        super().__init__()
+        self.victim = VictimCache(3)
+        self.level = CacheLevel(CONFIG, self.victim)
+        self.mirror = CacheLevel(CONFIG)  # same cache, no helper
+
+    @rule(line=lines)
+    def access(self, line):
+        self.level.access_line(line)
+        self.mirror.access_line(line)
+
+    @rule(line=lines)
+    def access_twice(self, line):
+        self.level.access_line(line)
+        self.level.access_line(line)
+        self.mirror.access_line(line)
+        self.mirror.access_line(line)
+
+    @invariant()
+    def exclusivity(self):
+        vc_lines = set(self.victim.resident_lines())
+        for line in vc_lines:
+            assert not self.level.cache.probe(line)
+
+    @invariant()
+    def victim_cache_never_overflows(self):
+        assert self.victim.occupancy() <= self.victim.entries
+
+    @invariant()
+    def l1_state_matches_unaugmented_mirror(self):
+        assert sorted(self.level.cache.resident_lines()) == sorted(
+            self.mirror.cache.resident_lines()
+        )
+
+    @invariant()
+    def accounting_conserved(self):
+        stats = self.level.stats
+        assert stats.removed_misses + stats.misses_to_next_level == stats.demand_misses
+        assert stats.demand_misses == self.mirror.stats.demand_misses
+
+
+class MissCacheMachine(RuleBasedStateMachine):
+    """A miss cache's contents are always a subset of recent L1 fills."""
+
+    def __init__(self):
+        super().__init__()
+        self.miss_cache = MissCache(3)
+        self.level = CacheLevel(CONFIG, self.miss_cache)
+        self.ever_missed = set()
+
+    @rule(line=lines)
+    def access(self, line):
+        before_hit = self.level.cache.probe(line)
+        self.level.access_line(line)
+        if not before_hit:
+            self.ever_missed.add(line)
+
+    @invariant()
+    def contents_are_past_misses(self):
+        for line in list(self.miss_cache._store.resident_lines()):
+            assert line in self.ever_missed
+
+    @invariant()
+    def bounded(self):
+        assert self.miss_cache.occupancy() <= self.miss_cache.entries
+
+
+class StreamBufferMachine(RuleBasedStateMachine):
+    """The FIFO queue is always consecutive lines, tail = next prefetch."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = StreamBuffer(entries=4)
+        self.level = CacheLevel(CONFIG, self.buffer)
+
+    @rule(line=lines)
+    def access(self, line):
+        self.level.access_line(line)
+
+    @rule(line=lines, run=st.integers(min_value=1, max_value=6))
+    def sequential_run(self, line, run):
+        for offset in range(run):
+            self.level.access_line(line + offset)
+
+    @invariant()
+    def queue_is_consecutive(self):
+        queued = self.buffer.buffered_lines()
+        for a, b in zip(queued, queued[1:]):
+            assert b == a + 1
+
+    @invariant()
+    def queue_bounded(self):
+        assert len(self.buffer.buffered_lines()) <= self.buffer.entries
+
+    @invariant()
+    def hits_bounded_by_lookups(self):
+        assert self.buffer.hits <= self.buffer.lookups
+
+
+TestVictimCacheMachine = VictimCacheMachine.TestCase
+TestMissCacheMachine = MissCacheMachine.TestCase
+TestStreamBufferMachine = StreamBufferMachine.TestCase
+
+for case in (TestVictimCacheMachine, TestMissCacheMachine, TestStreamBufferMachine):
+    case.settings = settings(max_examples=25, stateful_step_count=60, deadline=None)

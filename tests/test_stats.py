@@ -1,0 +1,141 @@
+"""Unit and property tests for repro.common.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    Histogram,
+    RatioStat,
+    average_percent_reduction,
+    cumulative,
+    percent,
+    percent_reduction,
+    safe_div,
+    weighted_mean,
+)
+
+
+class TestSafeDiv:
+    def test_normal(self):
+        assert safe_div(1, 2) == 0.5
+
+    def test_zero_denominator(self):
+        assert safe_div(1, 0) == 0.0
+        assert safe_div(1, 0, default=1.0) == 1.0
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(1, 4) == 25.0
+
+    def test_zero_whole(self):
+        assert percent(1, 0) == 0.0
+
+
+class TestPercentReduction:
+    def test_half(self):
+        assert percent_reduction(100, 50) == 50.0
+
+    def test_negative_when_worse(self):
+        # A structure that hurts must show as hurting, not be clamped.
+        assert percent_reduction(100, 150) == -50.0
+
+    def test_zero_baseline(self):
+        assert percent_reduction(0, 10) == 0.0
+
+
+class TestAveragePercentReduction:
+    def test_paper_metric_weights_benchmarks_equally(self):
+        # One benchmark with a huge miss count halved, one tiny one
+        # untouched: the paper's metric averages 50% and 0% -> 25%.
+        assert average_percent_reduction([(1_000_000, 500_000), (10, 10)]) == 25.0
+
+    def test_skips_zero_baselines(self):
+        # linpack/liver instruction caches: no misses, nothing to reduce.
+        assert average_percent_reduction([(0, 0), (100, 50)]) == 50.0
+
+    def test_all_zero(self):
+        assert average_percent_reduction([(0, 0)]) == 0.0
+
+
+class TestCumulative:
+    def test_running_sum(self):
+        assert cumulative([1, 2, 3]) == [1, 3, 6]
+
+    def test_empty(self):
+        assert cumulative([]) == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=100)))
+    def test_monotone_for_non_negative(self, values):
+        out = cumulative(values)
+        assert all(b >= a for a, b in zip(out, out[1:]))
+        if values:
+            assert out[-1] == sum(values)
+
+
+class TestRatioStat:
+    def test_record_and_rate(self):
+        stat = RatioStat()
+        stat.record(True)
+        stat.record(False)
+        stat.record(True)
+        assert stat.events == 2
+        assert stat.total == 3
+        assert stat.rate == pytest.approx(2 / 3)
+        assert stat.as_percent == pytest.approx(200 / 3)
+
+    def test_empty_rate(self):
+        assert RatioStat().rate == 0.0
+
+    def test_merge(self):
+        merged = RatioStat(1, 2).merged_with(RatioStat(3, 4))
+        assert merged.events == 4 and merged.total == 6
+
+
+class TestHistogram:
+    def test_add_and_total(self):
+        hist = Histogram()
+        hist.add(3)
+        hist.add(3, 2)
+        hist.add(7)
+        assert hist.total() == 4
+        assert hist.counts == {3: 3, 7: 1}
+
+    def test_count_at_most(self):
+        hist = Histogram({0: 1, 2: 5, 9: 3})
+        assert hist.count_at_most(-1) == 0
+        assert hist.count_at_most(0) == 1
+        assert hist.count_at_most(2) == 6
+        assert hist.count_at_most(100) == 9
+
+    def test_series_access(self):
+        hist = Histogram({1: 4, 3: 2})
+        assert hist.as_series([0, 1, 2, 3]) == [0, 4, 0, 2]
+        assert hist.cumulative_series([0, 1, 2, 3]) == [0, 4, 4, 6]
+
+    def test_merge(self):
+        a = Histogram({1: 1})
+        a.merge(Histogram({1: 2, 5: 3}))
+        assert a.counts == {1: 3, 5: 3}
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=60))
+    def test_cumulative_is_monotone_and_bounded(self, keys):
+        hist = Histogram()
+        for key in keys:
+            hist.add(key)
+        series = hist.cumulative_series(list(range(21)))
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        assert series[-1] == len(keys)
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean({"a": 1.0, "b": 3.0}, {"a": 1.0, "b": 1.0}) == 2.0
+        assert weighted_mean({"a": 1.0, "b": 3.0}, {"a": 3.0, "b": 1.0}) == 1.5
+
+    def test_missing_weight_is_zero(self):
+        assert weighted_mean({"a": 5.0, "b": 1.0}, {"b": 2.0}) == 1.0
+
+    def test_no_weights(self):
+        assert weighted_mean({"a": 5.0}, {}) == 0.0

@@ -1,0 +1,267 @@
+"""Unit tests for the single sequential stream buffer (paper §4.1)."""
+
+import pytest
+
+from repro.buffers.stream_buffer import StreamBuffer
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessOutcome
+from repro.hierarchy.level import CacheLevel
+
+
+class TestConstruction:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(entries=0)
+
+    def test_rejects_negative_max_run(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer(max_run=-1)
+
+
+class TestAllocation:
+    def test_allocates_after_miss_target(self):
+        sb = StreamBuffer(entries=4)
+        assert not sb.lookup_on_miss(100, 0).satisfied
+        # Lines *after* the miss go in the buffer, not the missed line.
+        assert sb.buffered_lines() == [101, 102, 103, 104]
+
+    def test_sequential_hit_consumes_head_and_tops_up(self):
+        sb = StreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        result = sb.lookup_on_miss(101, 1)
+        assert result.satisfied
+        assert result.outcome is AccessOutcome.STREAM_HIT
+        assert sb.buffered_lines() == [102, 103, 104, 105]
+
+    def test_non_sequential_miss_flushes(self):
+        sb = StreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        assert not sb.lookup_on_miss(500, 1).satisfied
+        assert sb.buffered_lines() == [501, 502, 503, 504]
+
+    def test_head_only_comparator_skips_nothing(self):
+        """§4.1: a line further down the queue does NOT hit; the buffer
+        is flushed and restarted even though 103 was resident."""
+        sb = StreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        assert not sb.lookup_on_miss(103, 1).satisfied
+        assert sb.buffered_lines() == [104, 105, 106, 107]
+
+    def test_full_comparator_variant_skips_ahead(self):
+        sb = StreamBuffer(entries=4, head_only=False)
+        sb.lookup_on_miss(100, 0)
+        result = sb.lookup_on_miss(103, 1)
+        assert result.satisfied
+        # Entries before the match are discarded; the queue refills.
+        assert sb.buffered_lines() == [104, 105, 106, 107]
+
+    def test_counters(self):
+        sb = StreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        sb.lookup_on_miss(102, 2)
+        assert sb.lookups == 3
+        assert sb.hits == 2
+        assert sb.allocations == 1
+
+    def test_reset(self):
+        sb = StreamBuffer(entries=4, track_run_offsets=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        sb.reset()
+        assert sb.hits == 0 and sb.lookups == 0
+        assert sb.buffered_lines() == []
+        assert sb.run_offsets.total() == 0
+
+
+class TestMaxRun:
+    def test_run_limit_stops_prefetching(self):
+        sb = StreamBuffer(entries=4, max_run=2)
+        sb.lookup_on_miss(100, 0)
+        assert sb.buffered_lines() == [101, 102]
+        assert sb.lookup_on_miss(101, 1).satisfied
+        assert sb.lookup_on_miss(102, 2).satisfied
+        # Run exhausted: the next sequential miss re-allocates.
+        assert not sb.lookup_on_miss(103, 3).satisfied
+        assert sb.buffered_lines() == [104, 105]
+
+    def test_zero_run_never_hits(self):
+        sb = StreamBuffer(entries=4, max_run=0)
+        sb.lookup_on_miss(100, 0)
+        assert sb.buffered_lines() == []
+        assert not sb.lookup_on_miss(101, 1).satisfied
+
+
+class TestRunOffsets:
+    def test_offsets_recorded_from_allocating_miss(self):
+        sb = StreamBuffer(entries=4, track_run_offsets=True)
+        sb.lookup_on_miss(100, 0)
+        for i, line in enumerate((101, 102, 103, 104, 105), start=1):
+            assert sb.lookup_on_miss(line, i).satisfied
+        assert sb.run_offsets.counts == {1: 1, 2: 1, 3: 1, 4: 1, 5: 1}
+
+    def test_offsets_reset_on_reallocation(self):
+        sb = StreamBuffer(entries=4, track_run_offsets=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        sb.lookup_on_miss(900, 2)  # flush
+        sb.lookup_on_miss(901, 3)
+        assert sb.run_offsets.counts == {1: 2}
+
+
+class TestAvailabilityTiming:
+    def test_not_ready_head_stalls(self):
+        sb = StreamBuffer(
+            entries=4, model_availability=True, fill_latency=12, issue_interval=4
+        )
+        sb.lookup_on_miss(100, now=0)
+        # First prefetch issues at now+4, ready at now+16.
+        result = sb.lookup_on_miss(101, now=5)
+        assert result.satisfied
+        assert result.stall_cycles == 11
+        assert sb.stall_cycles_total == 11
+
+    def test_ready_head_has_no_stall(self):
+        sb = StreamBuffer(
+            entries=4, model_availability=True, fill_latency=12, issue_interval=4
+        )
+        sb.lookup_on_miss(100, now=0)
+        result = sb.lookup_on_miss(101, now=50)
+        assert result.satisfied
+        assert result.stall_cycles == 0
+
+    def test_pipelined_issue_spacing(self):
+        sb = StreamBuffer(
+            entries=4, model_availability=True, fill_latency=12, issue_interval=4
+        )
+        sb.lookup_on_miss(100, now=0)
+        # Prefetches issue at 4, 8, 12, 16 -> ready at 16, 20, 24, 28.
+        readiness = [ready for _, ready in sb._queue]
+        assert readiness == [16, 20, 24, 28]
+
+    def test_no_availability_means_always_ready(self):
+        sb = StreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        assert sb.lookup_on_miss(101, 0).stall_cycles == 0
+
+
+class TestPureSequentialStream:
+    def test_removes_all_misses_after_the_first(self, l1_config):
+        """§4.1: sequential instruction execution never stalls long."""
+        level = CacheLevel(l1_config, StreamBuffer(entries=4))
+        for line in range(5000, 5200):
+            level.access_line(line)
+        stats = level.stats
+        assert stats.demand_misses == 200
+        assert stats.outcomes[AccessOutcome.STREAM_HIT] == 199
+        assert stats.misses_to_next_level == 1
+
+    def test_fetch_sink_sees_every_prefetch(self):
+        fetched = []
+        sb = StreamBuffer(entries=4, fetch_sink=fetched.append)
+        sb.lookup_on_miss(100, 0)
+        assert fetched == [101, 102, 103, 104]
+        sb.lookup_on_miss(101, 1)
+        assert fetched[-1] == 105
+
+
+class TestAllocationFilter:
+    def test_first_miss_only_arms(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        assert sb.buffered_lines() == []
+        assert sb.prefetches_issued == 0
+
+    def test_second_sequential_miss_allocates(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        assert sb.buffered_lines() == [102, 103, 104, 105]
+
+    def test_non_sequential_second_miss_rearms(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(500, 1)    # unrelated: re-arm at 501
+        assert sb.buffered_lines() == []
+        sb.lookup_on_miss(501, 2)    # confirms the new stream
+        assert sb.buffered_lines() == [502, 503, 504, 505]
+
+    def test_sequential_stream_costs_two_misses(self, l1_config):
+        level = CacheLevel(l1_config, StreamBuffer(entries=4, allocation_filter=True))
+        for line in range(9000, 9100):
+            level.access_line(line)
+        assert level.stats.outcomes[AccessOutcome.STREAM_HIT] == 98
+
+    def test_filter_saves_traffic_on_random_misses(self, l1_config):
+        import random
+
+        rng = random.Random(4)
+        lines = [rng.randrange(1 << 16) for _ in range(2000)]
+        plain = StreamBuffer(4)
+        filtered = StreamBuffer(4, allocation_filter=True)
+        for buffer in (plain, filtered):
+            level = CacheLevel(l1_config, buffer)
+            for line in lines:
+                level.access_line(line)
+        assert filtered.prefetches_issued < plain.prefetches_issued / 10
+
+    def test_multiway_filter_routes_to_armed_way(self):
+        from repro.buffers.stream_buffer import MultiWayStreamBuffer
+
+        multi = MultiWayStreamBuffer(ways=4, entries=4, allocation_filter=True)
+        multi.lookup_on_miss(100, 0)   # arms some way at 101
+        multi.lookup_on_miss(900, 1)   # arms another at 901
+        multi.lookup_on_miss(101, 2)   # must reach the 101-armed way
+        assert multi.lookup_on_miss(102, 3).satisfied
+
+    def test_reset_clears_armed_state(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.reset()
+        sb.lookup_on_miss(101, 1)    # would have confirmed; now re-arms
+        assert sb.buffered_lines() == []
+
+
+class TestAllocationFilterInteractions:
+    def test_filter_with_max_run(self):
+        sb = StreamBuffer(entries=4, max_run=2, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)     # confirm; run capped at 2
+        assert sb.buffered_lines() == [102, 103]
+
+    def test_filter_with_full_comparator(self):
+        sb = StreamBuffer(entries=4, head_only=False, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)     # queue 102..105
+        assert sb.lookup_on_miss(104, 2).satisfied  # skip-ahead still works
+
+    def test_filter_with_availability(self):
+        sb = StreamBuffer(
+            entries=4,
+            allocation_filter=True,
+            model_availability=True,
+            fill_latency=12,
+            issue_interval=4,
+        )
+        sb.lookup_on_miss(100, now=0)
+        sb.lookup_on_miss(101, now=4)     # confirm at t=4
+        result = sb.lookup_on_miss(102, now=5)
+        assert result.satisfied
+        assert result.stall_cycles > 0    # fill launched at t=8, ready t=20
+
+    def test_filter_run_offsets_count_from_confirming_miss(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True, track_run_offsets=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        sb.lookup_on_miss(102, 2)
+        assert sb.run_offsets.counts == {1: 1}
+
+    def test_buffer_hit_then_unrelated_miss_rearms(self):
+        sb = StreamBuffer(entries=4, allocation_filter=True)
+        sb.lookup_on_miss(100, 0)
+        sb.lookup_on_miss(101, 1)
+        assert sb.lookup_on_miss(102, 2).satisfied
+        sb.lookup_on_miss(900, 3)          # arm only
+        assert sb.buffered_lines() == []
+        assert not sb.lookup_on_miss(103, 4).satisfied  # old stream gone

@@ -1,0 +1,245 @@
+"""Unit tests for the stride-detecting stream buffers (§5 extension)."""
+
+import pytest
+
+from repro.buffers.stream_buffer import StreamBuffer
+from repro.buffers.stride import MultiWayStrideBuffer, StrideStreamBuffer
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessOutcome
+from repro.hierarchy.level import CacheLevel
+
+
+class TestConstruction:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            StrideStreamBuffer(entries=0)
+
+    def test_rejects_bad_stride_window(self):
+        with pytest.raises(ConfigurationError):
+            StrideStreamBuffer(min_stride=0)
+        with pytest.raises(ConfigurationError):
+            StrideStreamBuffer(min_stride=8, max_stride=4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            MultiWayStrideBuffer(ways=0)
+
+
+class TestStrideDetection:
+    def test_two_misses_fix_the_stride(self):
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(100, 0)
+        assert sb.stride is None
+        sb.lookup_on_miss(150, 1)
+        assert sb.stride == 50
+        assert sb.buffered_lines() == [200, 250, 300, 350]
+
+    def test_unit_stride_detected(self):
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(10, 0)
+        sb.lookup_on_miss(11, 1)
+        assert sb.stride == 1
+        assert sb.buffered_lines() == [12, 13, 14, 15]
+
+    def test_negative_stride(self):
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(1000, 0)
+        sb.lookup_on_miss(990, 1)
+        assert sb.stride == -10
+        assert sb.buffered_lines() == [980, 970, 960, 950]
+
+    def test_negative_stride_stops_at_zero(self):
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(20, 0)
+        sb.lookup_on_miss(10, 1)
+        assert sb.buffered_lines() == [0]
+
+    def test_too_far_apart_does_not_pair(self):
+        sb = StrideStreamBuffer(entries=4, max_stride=64)
+        sb.lookup_on_miss(0, 0)
+        sb.lookup_on_miss(1000, 1)
+        assert sb.stride is None
+        assert sb.buffered_lines() == []
+
+    def test_hit_consumes_and_tops_up(self):
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(0, 0)
+        sb.lookup_on_miss(50, 1)
+        result = sb.lookup_on_miss(100, 2)
+        assert result.satisfied
+        assert result.outcome is AccessOutcome.STREAM_HIT
+        assert sb.buffered_lines() == [150, 200, 250, 300]
+
+    def test_same_line_re_miss_re_arms_active_stream(self):
+        """A conflict re-miss on the stream's own line must not tear
+        the stream down (the met regression)."""
+        sb = StrideStreamBuffer(entries=4)
+        sb.lookup_on_miss(0, 0)
+        sb.lookup_on_miss(1, 1)        # stride 1, queue 2..5
+        sb.lookup_on_miss(1, 2)        # same-line re-miss
+        assert sb.stride == 1
+        assert sb.buffered_lines() == [2, 3, 4, 5]
+
+    def test_counters_and_reset(self):
+        sb = StrideStreamBuffer(entries=4, track_run_offsets=True)
+        sb.lookup_on_miss(0, 0)
+        sb.lookup_on_miss(5, 1)
+        sb.lookup_on_miss(10, 2)
+        assert sb.hits == 1 and sb.lookups == 3 and sb.allocations == 1
+        sb.reset()
+        assert sb.hits == 0 and sb.stride is None
+        assert sb.run_offsets.total() == 0
+
+
+class TestSequentialEquivalence:
+    def test_matches_sequential_buffer_on_unit_stride_streams(self, l1_config):
+        """On a pure sequential stream the stride buffer loses only the
+        second miss (its detector needs two misses, the sequential
+        buffer one)."""
+        lines = list(range(7000, 7200))
+        seq_level = CacheLevel(l1_config, StreamBuffer(entries=4))
+        stride_level = CacheLevel(l1_config, StrideStreamBuffer(entries=4))
+        for line in lines:
+            seq_level.access_line(line)
+            stride_level.access_line(line)
+        assert seq_level.stats.removed_misses == 199
+        assert stride_level.stats.removed_misses == 198
+
+    def test_near_noop_on_paper_suite(self, small_by_name):
+        """The stride buffer must not collapse on ordinary workloads."""
+        config = CacheConfig(4096, 16)
+        addresses = small_by_name["linpack"].data_addresses
+        seq = CacheLevel(config, StreamBuffer(4))
+        stride = CacheLevel(config, StrideStreamBuffer(4))
+        for address in addresses:
+            seq.access(address)
+            stride.access(address)
+        assert stride.stats.removed_misses > 0.7 * seq.stats.removed_misses
+
+
+class TestNonUnitStride:
+    COLUMN_STRIDE = 64  # lines between consecutive accesses
+
+    def _column_misses(self, n=120):
+        return [i * self.COLUMN_STRIDE for i in range(n)]
+
+    def test_sequential_buffer_useless_on_column_sweep(self, l1_config):
+        level = CacheLevel(l1_config, StreamBuffer(entries=4))
+        for line in self._column_misses():
+            level.access_line(line)
+        assert level.stats.removed_misses == 0
+
+    def test_stride_buffer_recovers_column_sweep(self, l1_config):
+        level = CacheLevel(l1_config, StrideStreamBuffer(entries=4))
+        for line in self._column_misses():
+            level.access_line(line)
+        # All but the two detection misses are removed.
+        assert level.stats.removed_misses == 118
+
+    def test_multiway_follows_interleaved_strided_streams(self):
+        streams = [
+            [base + i * stride for i in range(60)]
+            for base, stride in ((0, 64), (100_000, 50), (200_000, 3))
+        ]
+        interleaved = [line for group in zip(*streams) for line in group]
+        multi = MultiWayStrideBuffer(ways=4, entries=4)
+        hits = sum(
+            1 for line in interleaved if multi.lookup_on_miss(line, 0).satisfied
+        )
+        # Each stream costs two detection misses; everything else hits.
+        assert hits >= len(interleaved) - 3 * 2 - 4
+
+
+class TestMultiWayBookkeeping:
+    def test_one_way_equals_single(self, l1_config):
+        import random
+
+        rng = random.Random(9)
+        lines = [rng.randrange(4096) for _ in range(1500)]
+        single = CacheLevel(l1_config, StrideStreamBuffer(4))
+        multi = CacheLevel(l1_config, MultiWayStrideBuffer(ways=1, entries=4))
+        for line in lines:
+            single.access_line(line)
+            multi.access_line(line)
+        assert single.stats.outcomes == multi.stats.outcomes
+
+    def test_reset(self):
+        multi = MultiWayStrideBuffer(ways=2, entries=2)
+        multi.lookup_on_miss(0, 0)
+        multi.lookup_on_miss(1, 1)
+        multi.reset()
+        assert multi.hits == 0
+        assert all(b.stride is None for b in multi.way_buffers())
+
+    def test_prefetch_counter_aggregates(self):
+        multi = MultiWayStrideBuffer(ways=2, entries=3)
+        multi.lookup_on_miss(0, 0)
+        multi.lookup_on_miss(1, 1)
+        assert multi.prefetches_issued == 3
+
+    def test_fetch_sink_receives_strided_lines(self):
+        fetched = []
+        sb = StrideStreamBuffer(entries=3, fetch_sink=fetched.append)
+        sb.lookup_on_miss(0, 0)
+        sb.lookup_on_miss(10, 1)
+        assert fetched == [20, 30, 40]
+
+
+class TestStrideProperties:
+    """Hypothesis checks on arbitrary miss streams."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    lines = st.integers(min_value=0, max_value=4096)
+
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_never_crashes_and_counters_consistent(self, refs):
+        sb = StrideStreamBuffer(entries=4)
+        hits = 0
+        for line in refs:
+            if sb.lookup_on_miss(line, 0).satisfied:
+                hits += 1
+        assert sb.hits == hits
+        assert sb.lookups == len(refs)
+        assert sb.hits <= sb.lookups
+
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_l1_state_unchanged_behind_level(self, refs):
+        config = CacheConfig(1024, 16)
+        plain = CacheLevel(config)
+        with_stride = CacheLevel(config, StrideStreamBuffer(4))
+        for line in refs:
+            plain.access_line(line)
+            with_stride.access_line(line)
+        assert plain.stats.demand_misses == with_stride.stats.demand_misses
+        assert sorted(plain.cache.resident_lines()) == sorted(
+            with_stride.cache.resident_lines()
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=300), ways=st.integers(min_value=1, max_value=4))
+    def test_multiway_counters_consistent(self, refs, ways):
+        multi = MultiWayStrideBuffer(ways=ways, entries=3)
+        for line in refs:
+            multi.lookup_on_miss(line, 0)
+        assert multi.hits <= multi.lookups == len(refs)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        base=st.integers(min_value=0, max_value=10_000),
+        stride=st.integers(min_value=1, max_value=200),
+        count=st.integers(min_value=3, max_value=120),
+    )
+    def test_constant_stride_stream_costs_two_detection_misses(
+        self, base, stride, count
+    ):
+        sb = StrideStreamBuffer(entries=4, max_stride=256)
+        hits = 0
+        for i in range(count):
+            if sb.lookup_on_miss(base + i * stride, 0).satisfied:
+                hits += 1
+        assert hits == count - 2

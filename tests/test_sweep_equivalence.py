@@ -1,0 +1,138 @@
+"""Property tests: single-pass sweeps == independent per-size simulation.
+
+The experiments exploit two facts (DESIGN.md §5): the L1's evolution is
+independent of its augmentation, and LRU structures obey the stack
+property.  These tests verify the resulting shortcut — one run with a
+big structure plus a depth histogram — against brute-force per-size
+simulation, on both random streams and the real synthetic workloads.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import (
+    miss_cache_sweep,
+    stream_buffer_run_sweep,
+    victim_cache_sweep,
+)
+
+lines = st.integers(min_value=0, max_value=2**14)
+CONFIG = CacheConfig(1024, 16)  # 64 sets: conflicts are easy to provoke
+
+
+def brute_force_removed(byte_addresses, config, make_structure, entries):
+    run = run_level(byte_addresses, config, make_structure(entries))
+    return run.removed
+
+
+class TestEntrySweepEquivalence:
+    @settings(deadline=None, max_examples=20)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_victim_cache_sweep_matches_brute_force(self, refs):
+        addresses = [line * 16 for line in refs]
+        sweep = victim_cache_sweep(addresses, CONFIG, max_entries=6)
+        for entries in (1, 2, 3, 6):
+            assert sweep.removed(entries) == brute_force_removed(
+                addresses, CONFIG, VictimCache, entries
+            )
+
+    @settings(deadline=None, max_examples=20)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_miss_cache_sweep_matches_brute_force(self, refs):
+        addresses = [line * 16 for line in refs]
+        sweep = miss_cache_sweep(addresses, CONFIG, max_entries=6)
+        for entries in (1, 2, 4, 6):
+            assert sweep.removed(entries) == brute_force_removed(
+                addresses, CONFIG, MissCache, entries
+            )
+
+    @settings(deadline=None, max_examples=20)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_sweep_baseline_counts_match_plain_run(self, refs):
+        addresses = [line * 16 for line in refs]
+        sweep = victim_cache_sweep(addresses, CONFIG, max_entries=4)
+        baseline = run_level(addresses, CONFIG, classify=True)
+        assert sweep.total_misses == baseline.misses
+        assert sweep.conflict_misses == baseline.conflicts
+
+    @settings(deadline=None, max_examples=20)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_sweep_is_monotone_in_entries(self, refs):
+        addresses = [line * 16 for line in refs]
+        sweep = victim_cache_sweep(addresses, CONFIG, max_entries=8)
+        assert sweep.hits_by_entries == sorted(sweep.hits_by_entries)
+        assert sweep.hits_by_entries[0] == 0
+
+    def test_workload_sweep_matches_brute_force(self, small_by_name):
+        config = CacheConfig(4096, 16)
+        addresses = small_by_name["met"].data_addresses
+        sweep = victim_cache_sweep(addresses, config, max_entries=5)
+        for entries in (1, 3, 5):
+            assert sweep.removed(entries) == brute_force_removed(
+                addresses, config, VictimCache, entries
+            )
+
+
+class TestRunLengthSweep:
+    def test_cumulative_and_monotone(self, small_by_name):
+        config = CacheConfig(4096, 16)
+        sweep = stream_buffer_run_sweep(
+            small_by_name["linpack"].data_addresses, config, ways=1
+        )
+        assert sweep.removed_by_run[0] == 0
+        assert sweep.removed_by_run == sorted(sweep.removed_by_run)
+
+    def test_total_removed_matches_live_run(self, small_by_name):
+        """At the largest run length the sweep's cumulative count equals
+        the total hits of an unbounded buffer whose offsets fit."""
+        config = CacheConfig(4096, 16)
+        addresses = small_by_name["linpack"].data_addresses
+        buffer = StreamBuffer(entries=4, track_run_offsets=True)
+        live = run_level(addresses, config, buffer)
+        sweep = stream_buffer_run_sweep(addresses, config, ways=1, max_run=10_000)
+        assert sweep.removed_by_run[-1] == live.removed
+
+    def test_percent_removed_bounds(self, small_by_name):
+        config = CacheConfig(4096, 16)
+        sweep = stream_buffer_run_sweep(
+            small_by_name["liver"].data_addresses, config, ways=4
+        )
+        for k in range(len(sweep.removed_by_run)):
+            assert 0.0 <= sweep.percent_removed(k) <= 100.0
+
+    def test_empty_stream(self):
+        sweep = stream_buffer_run_sweep([], CONFIG, ways=1)
+        assert sweep.total_misses == 0
+        assert sweep.percent_removed(5) == 0.0
+
+
+class TestCappedRunBuffers:
+    """Figures 4-3/4-5 use the paper's cumulative-histogram reading of
+    one unbounded run; a buffer with a hard ``max_run`` cap is a
+    different machine (it re-allocates and restarts its run counter), so
+    the two are not comparable point by point.  What must hold: capped
+    removal is monotone in the cap and converges to the unbounded
+    buffer's removal."""
+
+    def test_capped_removal_monotone_and_convergent(self, small_by_name):
+        config = CacheConfig(4096, 16)
+        addresses = small_by_name["linpack"].data_addresses
+        removed = []
+        for cap in (0, 1, 4, 16):
+            run = run_level(addresses, config, StreamBuffer(entries=4, max_run=cap))
+            removed.append(run.removed)
+        assert removed == sorted(removed)
+        assert removed[0] == 0
+        unbounded = run_level(addresses, config, StreamBuffer(entries=4))
+        huge_cap = run_level(
+            addresses, config, StreamBuffer(entries=4, max_run=10**9)
+        )
+        assert huge_cap.removed == unbounded.removed

@@ -1,0 +1,159 @@
+"""Unit tests for the two-level MemorySystem."""
+
+import pytest
+
+from repro.buffers.base import CompositeAugmentation
+from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig, SystemConfig, baseline_system
+from repro.common.types import IFETCH, LOAD, STORE, AccessOutcome
+from repro.hierarchy.system import MemorySystem
+
+
+class TestRouting:
+    def test_ifetch_goes_to_icache(self):
+        system = MemorySystem()
+        system.access(IFETCH, 0x1000)
+        assert system.instructions == 1
+        assert system.data_references == 0
+        assert system.ilevel.stats.accesses == 1
+        assert system.dlevel.stats.accesses == 0
+
+    def test_loads_and_stores_go_to_dcache(self):
+        system = MemorySystem()
+        system.access(LOAD, 0x1000)
+        system.access(STORE, 0x1000)
+        assert system.data_references == 2
+        assert system.dlevel.stats.accesses == 2
+
+    def test_split_caches_do_not_interfere(self):
+        system = MemorySystem()
+        system.access(IFETCH, 0x1000)
+        assert system.access(LOAD, 0x1000) is AccessOutcome.MISS
+        assert system.access(IFETCH, 0x1000) is AccessOutcome.HIT
+
+
+class TestL2:
+    def test_l1_miss_reaches_l2(self):
+        system = MemorySystem()
+        system.access(LOAD, 0x2000)
+        assert system.l2stats.demand_accesses == 1
+        assert system.l2stats.demand_misses == 1
+
+    def test_l1_hit_does_not_touch_l2(self):
+        system = MemorySystem()
+        system.access(LOAD, 0x2000)
+        system.access(LOAD, 0x2000)
+        assert system.l2stats.demand_accesses == 1
+
+    def test_l2_line_granularity(self):
+        # Two L1 lines inside one 128B L2 line: second L1 miss hits L2.
+        system = MemorySystem()
+        system.access(LOAD, 0x2000)
+        system.access(LOAD, 0x2000 + 64)
+        assert system.l2stats.demand_accesses == 2
+        assert system.l2stats.demand_misses == 1
+
+    def test_removed_miss_does_not_touch_l2(self):
+        system = MemorySystem(daugmentation=VictimCache(2))
+        system.access(LOAD, 0)
+        system.access(LOAD, 4096)   # evicts line 0 into VC
+        demand_before = system.l2stats.demand_accesses
+        assert system.access(LOAD, 0) is AccessOutcome.VICTIM_HIT
+        assert system.l2stats.demand_accesses == demand_before
+
+    def test_prewarm_l2(self):
+        system = MemorySystem()
+        trace = [(int(LOAD), 0x2000), (int(LOAD), 0x9000)]
+        loaded = system.prewarm_l2(trace)
+        assert loaded == 2
+        system.access(LOAD, 0x2000)
+        assert system.l2stats.demand_misses == 0
+        assert system.l2stats.demand_accesses == 1
+
+
+class TestStreamBufferPrefetchRouting:
+    def test_prefetches_counted_as_l2_prefetch_traffic(self):
+        system = MemorySystem(daugmentation=StreamBuffer(entries=4))
+        system.access(LOAD, 0x4000)
+        assert system.l2stats.prefetch_accesses > 0
+
+    def test_multiway_buffers_also_wired(self):
+        system = MemorySystem(daugmentation=MultiWayStreamBuffer(ways=2, entries=2))
+        system.access(LOAD, 0x4000)
+        assert system.l2stats.prefetch_accesses == 2
+
+    def test_composite_members_wired(self):
+        aug = CompositeAugmentation([VictimCache(2), StreamBuffer(entries=4)])
+        system = MemorySystem(daugmentation=aug)
+        system.access(LOAD, 0x4000)
+        assert system.l2stats.prefetch_accesses == 4
+
+    def test_wiring_can_be_disabled(self):
+        system = MemorySystem(
+            daugmentation=StreamBuffer(entries=4), route_prefetches_through_l2=False
+        )
+        system.access(LOAD, 0x4000)
+        assert system.l2stats.prefetch_accesses == 0
+
+    def test_prefetched_line_hits_l2_later(self):
+        """A demand miss on a previously stream-prefetched line finds it
+        resident in the L2 (prefetches keep L2 contents honest)."""
+        system = MemorySystem(daugmentation=StreamBuffer(entries=4))
+        system.access(LOAD, 0)          # prefetches L1 lines 1..4 through L2
+        system.access(LOAD, 0x8000)     # flush the buffer far away
+        before = system.l2stats.demand_misses
+        system.access(LOAD, 0x8000 + 4096)  # same L1 set churn
+        system.access(LOAD, 16)         # L1 line 1, L2 line 0: already loaded
+        assert system.l2stats.demand_misses == before + 1  # only the 0x8000+4096 line
+
+
+class TestRunAndResult:
+    def test_run_counts_match_trace(self, small_by_name):
+        trace = small_by_name["ccom"]
+        system = MemorySystem()
+        result = system.run(trace)
+        stats = trace.stats()
+        assert result.instructions == stats.instructions
+        assert result.data_references == stats.data_references
+        assert result.total_references == len(trace)
+
+    def test_miss_rates_are_per_side(self):
+        system = MemorySystem()
+        system.access(IFETCH, 0)
+        system.access(IFETCH, 0)
+        system.access(LOAD, 0)
+        result = system.result()
+        assert result.imiss_rate == pytest.approx(0.5)
+        assert result.dmiss_rate == pytest.approx(1.0)
+
+    def test_effective_rates_discount_removed_misses(self):
+        system = MemorySystem(daugmentation=VictimCache(2))
+        system.access(LOAD, 0)
+        system.access(LOAD, 4096)
+        system.access(LOAD, 0)  # removed miss
+        result = system.result()
+        assert result.dmiss_rate == pytest.approx(1.0)
+        assert result.effective_dmiss_rate == pytest.approx(2 / 3)
+
+    def test_reset(self, small_by_name):
+        system = MemorySystem()
+        system.run(small_by_name["yacc"])
+        system.reset()
+        assert system.instructions == 0
+        assert system.l2stats.demand_accesses == 0
+        assert system.ilevel.stats.accesses == 0
+
+
+class TestConfigVariants:
+    def test_custom_config_respected(self):
+        config = SystemConfig(
+            icache=CacheConfig(1024, 16),
+            dcache=CacheConfig(2048, 32),
+        )
+        system = MemorySystem(config)
+        assert system.ilevel.cache.num_lines == 64
+        assert system.dlevel.cache.num_lines == 64
+
+    def test_default_is_baseline(self):
+        assert MemorySystem().config == baseline_system()

@@ -1,0 +1,86 @@
+"""Unit tests for Trace / MaterializedTrace / TraceStats."""
+
+import pytest
+
+from repro.common.types import IFETCH, LOAD, STORE, Access, AccessKind
+from repro.traces.trace import MaterializedTrace, Trace, TraceMeta, trace_from_pairs
+
+PAIRS = [
+    (int(IFETCH), 0x100),
+    (int(LOAD), 0x2000),
+    (int(IFETCH), 0x104),
+    (int(STORE), 0x2008),
+    (int(IFETCH), 0x108),
+]
+
+
+@pytest.fixture
+def trace():
+    return trace_from_pairs("mini", PAIRS, program_type="test")
+
+
+class TestTraceRecipe:
+    def test_replays_identically(self):
+        recipe = Trace(TraceMeta("r"), lambda: iter(PAIRS))
+        assert list(recipe) == list(recipe)
+
+    def test_accesses_view(self):
+        recipe = Trace(TraceMeta("r"), lambda: iter(PAIRS))
+        accesses = list(recipe.accesses())
+        assert accesses[0] == Access(AccessKind.IFETCH, 0x100)
+        assert accesses[3].is_write
+
+    def test_materialize(self):
+        recipe = Trace(TraceMeta("r"), lambda: iter(PAIRS))
+        materialized = recipe.materialize()
+        assert len(materialized) == 5
+        assert list(materialized) == PAIRS
+
+    def test_name_property(self):
+        assert Trace(TraceMeta("abc"), lambda: iter([])).name == "abc"
+
+
+class TestMaterializedTrace:
+    def test_split_streams(self, trace):
+        assert trace.instruction_addresses == [0x100, 0x104, 0x108]
+        assert trace.data_addresses == [0x2000, 0x2008]
+
+    def test_stream_selector(self, trace):
+        assert trace.stream("i") == trace.instruction_addresses
+        assert trace.stream("d") == trace.data_addresses
+        with pytest.raises(ValueError):
+            trace.stream("x")
+
+    def test_split_preserves_order(self, trace):
+        assert trace.data_addresses[0] < trace.data_addresses[1]
+
+    def test_stats(self, trace):
+        stats = trace.stats()
+        assert stats.instructions == 3
+        assert stats.loads == 1
+        assert stats.stores == 1
+        assert stats.data_references == 2
+        assert stats.total_references == 5
+        assert stats.data_per_instruction == pytest.approx(2 / 3)
+
+    def test_stats_cached(self, trace):
+        assert trace.stats() is trace.stats()
+
+    def test_unique_lines(self, trace):
+        # I side: 0x100, 0x104, 0x108 -> one 16B line (0x10).
+        assert trace.unique_lines("i", 16) == 1
+        # D side: 0x2000 and 0x2008 share a 16B line.
+        assert trace.unique_lines("d", 16) == 1
+        assert trace.unique_lines("d", 8) == 2
+
+    def test_empty_trace(self):
+        empty = trace_from_pairs("empty", [])
+        assert len(empty) == 0
+        assert empty.stats().data_per_instruction == 0.0
+        assert empty.instruction_addresses == []
+
+
+class TestTraceStatsEdge:
+    def test_zero_instruction_ratio(self):
+        trace = trace_from_pairs("dataonly", [(int(LOAD), 0)])
+        assert trace.stats().data_per_instruction == 0.0

@@ -1,0 +1,122 @@
+"""Unit and property tests for trace file I/O."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TraceFormatError
+from repro.traces.io import (
+    load_trace,
+    read_binary_trace,
+    read_text_trace,
+    save_trace,
+    write_binary_trace,
+    write_text_trace,
+)
+
+pairs_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=2**40)),
+    max_size=100,
+)
+
+SAMPLE = [(0, 0x100), (1, 0xdeadbeef), (2, 0x0)]
+
+
+class TestTextFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.din"
+        assert write_text_trace(path, SAMPLE) == 3
+        assert list(read_text_trace(path)) == SAMPLE
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("# comment\n\n0 100\n   \n1 2a\n")
+        assert list(read_text_trace(path)) == [(0, 0x100), (1, 0x2A)]
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 100 extra\n")
+        with pytest.raises(TraceFormatError, match="line 1"):
+            list(read_text_trace(path))
+
+    def test_rejects_bad_kind(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("7 100\n")
+        with pytest.raises(TraceFormatError, match="invalid access kind"):
+            list(read_text_trace(path))
+
+    def test_rejects_non_hex_address(self, tmp_path):
+        path = tmp_path / "t.din"
+        path.write_text("0 zz\n")
+        with pytest.raises(TraceFormatError):
+            list(read_text_trace(path))
+
+    def test_write_rejects_bad_kind(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            write_text_trace(tmp_path / "t.din", [(9, 0)])
+
+    @settings(deadline=None, max_examples=25)
+    @given(pairs=pairs_strategy)
+    def test_roundtrip_property(self, pairs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("txt") / "t.din"
+        write_text_trace(path, pairs)
+        assert list(read_text_trace(path)) == pairs
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "t.trc"
+        assert write_binary_trace(path, SAMPLE) == 3
+        assert list(read_binary_trace(path)) == SAMPLE
+
+    def test_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 12)
+        with pytest.raises(TraceFormatError, match="magic"):
+            list(read_binary_trace(path))
+
+    def test_rejects_truncated_record(self, tmp_path):
+        path = tmp_path / "t.trc"
+        write_binary_trace(path, SAMPLE)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            list(read_binary_trace(path))
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "t.trc"
+        write_binary_trace(path, [])
+        assert list(read_binary_trace(path)) == []
+
+    @settings(deadline=None, max_examples=25)
+    @given(pairs=pairs_strategy)
+    def test_roundtrip_property(self, pairs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bin") / "t.trc"
+        write_binary_trace(path, pairs)
+        assert list(read_binary_trace(path)) == pairs
+
+
+class TestSaveLoad:
+    def test_suffix_dispatch_binary(self, tmp_path):
+        path = tmp_path / "x.trc"
+        save_trace(path, SAMPLE)
+        assert path.read_bytes()[:8] == b"RPROTRC1"
+        loaded = load_trace(path)
+        assert list(loaded) == SAMPLE
+        assert loaded.name == "x"
+
+    def test_suffix_dispatch_text(self, tmp_path):
+        path = tmp_path / "x.din"
+        save_trace(path, SAMPLE)
+        assert path.read_text().startswith("0 100")
+        loaded = load_trace(path, name="custom")
+        assert loaded.name == "custom"
+        assert list(loaded) == SAMPLE
+
+    def test_workload_roundtrip(self, tmp_path, small_by_name):
+        """A full synthetic benchmark survives a binary save/load."""
+        trace = small_by_name["yacc"]
+        path = tmp_path / "yacc.trc"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)

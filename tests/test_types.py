@@ -1,0 +1,106 @@
+"""Unit tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import (
+    IFETCH,
+    LOAD,
+    STORE,
+    Access,
+    AccessKind,
+    AccessOutcome,
+    MissKind,
+)
+
+
+class TestAccessKind:
+    def test_stable_encoding(self):
+        # Trace files depend on these exact values.
+        assert int(AccessKind.IFETCH) == 0
+        assert int(AccessKind.LOAD) == 1
+        assert int(AccessKind.STORE) == 2
+
+    def test_instruction_predicate(self):
+        assert IFETCH.is_instruction
+        assert not LOAD.is_instruction
+        assert not STORE.is_instruction
+
+    def test_data_predicate(self):
+        assert not IFETCH.is_data
+        assert LOAD.is_data
+        assert STORE.is_data
+
+    def test_write_predicate(self):
+        assert not IFETCH.is_write
+        assert not LOAD.is_write
+        assert STORE.is_write
+
+
+class TestAccess:
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            Access(LOAD, -1)
+
+    def test_line_mapping(self):
+        assert Access(LOAD, 0x1234).line(16) == 0x123
+
+    def test_as_pair(self):
+        assert Access(STORE, 0x40).as_pair() == (2, 0x40)
+
+    def test_predicates_delegate(self):
+        access = Access(IFETCH, 0)
+        assert access.is_instruction and not access.is_data and not access.is_write
+
+    def test_frozen(self):
+        access = Access(LOAD, 4)
+        with pytest.raises(AttributeError):
+            access.address = 8
+
+
+class TestAccessOutcome:
+    def test_hit_is_not_a_miss(self):
+        assert not AccessOutcome.HIT.is_l1_miss
+        assert not AccessOutcome.HIT.is_removed_miss
+        assert not AccessOutcome.HIT.goes_to_next_level
+
+    def test_removed_misses(self):
+        for outcome in (
+            AccessOutcome.MISS_CACHE_HIT,
+            AccessOutcome.VICTIM_HIT,
+            AccessOutcome.STREAM_HIT,
+        ):
+            assert outcome.is_l1_miss
+            assert outcome.is_removed_miss
+            assert not outcome.goes_to_next_level
+
+    def test_full_miss(self):
+        assert AccessOutcome.MISS.is_l1_miss
+        assert not AccessOutcome.MISS.is_removed_miss
+        assert AccessOutcome.MISS.goes_to_next_level
+
+
+class TestMissKind:
+    def test_four_categories(self):
+        # The paper's taxonomy: conflict, compulsory, capacity, coherence.
+        assert len(MissKind) == 4
+        assert {k.name for k in MissKind} == {
+            "COMPULSORY",
+            "CAPACITY",
+            "CONFLICT",
+            "COHERENCE",
+        }
+
+
+class TestPackageMetadata:
+    def test_version_matches_pyproject(self):
+        import pathlib
+        import repro
+
+        pyproject = pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        assert f'version = "{repro.__version__}"' in pyproject.read_text()
+
+    def test_py_typed_marker_shipped(self):
+        import pathlib
+        import repro
+
+        assert (pathlib.Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,144 @@
+"""Unit and property tests for the victim cache (paper §3.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.common.types import AccessOutcome
+from repro.hierarchy.level import CacheLevel
+
+lines = st.integers(min_value=0, max_value=600)
+
+
+def drive(level, pattern):
+    for line in pattern:
+        level.access_line(line)
+
+
+class TestVictimCacheAlone:
+    def test_caches_victim_not_requested(self):
+        vc = VictimCache(2)
+        vc.lookup_on_miss(7, 0)
+        vc.on_l1_fill(7, victim=3, now=0)
+        assert vc.contains(3)
+        assert not vc.contains(7)
+
+    def test_no_insert_without_victim(self):
+        vc = VictimCache(2)
+        vc.lookup_on_miss(7, 0)
+        vc.on_l1_fill(7, victim=None, now=0)
+        assert vc.occupancy() == 0
+
+    def test_hit_swaps_out_of_victim_cache(self):
+        vc = VictimCache(2)
+        vc.on_l1_fill(1, victim=9, now=0)
+        result = vc.lookup_on_miss(9, 1)
+        assert result.satisfied
+        assert result.outcome is AccessOutcome.VICTIM_HIT
+        assert not vc.contains(9)  # moved into L1
+
+    def test_no_swap_variant_keeps_copy(self):
+        vc = VictimCache(2, swap_on_hit=False)
+        vc.on_l1_fill(1, victim=9, now=0)
+        assert vc.lookup_on_miss(9, 1).satisfied
+        assert vc.contains(9)
+
+    def test_counters_and_reset(self):
+        vc = VictimCache(2, track_depths=True)
+        vc.on_l1_fill(1, victim=9, now=0)
+        vc.lookup_on_miss(9, 1)
+        assert vc.hits == 1 and vc.lookups == 1
+        vc.reset()
+        assert vc.hits == 0 and vc.occupancy() == 0
+        assert vc.hit_depths.total() == 0
+
+
+class TestVictimCacheBehindLevel:
+    def test_one_entry_suffices_for_pairwise_alternation(self, l1_config):
+        """§3.2: victim caches of just one line are useful."""
+        a, b = 0, 256
+        pattern = [a, b] * 40
+        level = CacheLevel(l1_config, VictimCache(1))
+        drive(level, pattern)
+        assert level.stats.outcomes[AccessOutcome.VICTIM_HIT] == len(pattern) - 2
+
+    def test_exclusivity_invariant_on_conflict_pattern(self, l1_config):
+        level = CacheLevel(l1_config, VictimCache(4))
+        drive(level, [0, 256, 512, 0, 256, 512] * 20)
+        vc_lines = set(level.augmentation.resident_lines())
+        l1_lines = set(level.cache.resident_lines())
+        assert not (vc_lines & l1_lines)
+
+    def test_loop_plus_procedure_doubles_capture(self, l1_config):
+        """§3.2's example: conflicting loop and procedure trade places."""
+        # Loop body: lines 0..3; procedure: lines 256..259 (same sets).
+        iteration = list(range(0, 4)) + list(range(256, 260))
+        pattern = iteration * 30
+        # 4-entry victim cache captures the full 4-line overlap.
+        vc_level = CacheLevel(l1_config, VictimCache(4))
+        drive(vc_level, pattern)
+        vc_removed = vc_level.stats.outcomes[AccessOutcome.VICTIM_HIT]
+        # A 4-entry miss cache thrashes: each fill inserts the requested
+        # line, so by the time the loop comes back its lines are gone.
+        mc_level = CacheLevel(l1_config, MissCache(4))
+        drive(mc_level, pattern)
+        mc_removed = mc_level.stats.outcomes[AccessOutcome.MISS_CACHE_HIT]
+        assert vc_removed > mc_removed
+        assert vc_removed >= len(pattern) - 2 * 8  # everything after warmup
+
+
+class TestVictimProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=600))
+    def test_exclusivity_holds_always(self, refs):
+        config = CacheConfig(1024, 16)  # 64 sets
+        level = CacheLevel(config, VictimCache(4))
+        for line in refs:
+            level.access_line(line)
+            vc_lines = set(level.augmentation.resident_lines())
+            assert all(not level.cache.probe(line_addr) for line_addr in vc_lines)
+
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=600), entries=st.integers(min_value=1, max_value=6))
+    def test_victim_never_worse_than_miss_cache(self, refs, entries):
+        """The paper's §3.2 claim, on arbitrary reference streams."""
+        config = CacheConfig(1024, 16)
+        vc_level = CacheLevel(config, VictimCache(entries))
+        mc_level = CacheLevel(config, MissCache(entries))
+        for line in refs:
+            vc_level.access_line(line)
+            mc_level.access_line(line)
+        assert (
+            vc_level.stats.removed_misses >= mc_level.stats.removed_misses
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(refs=st.lists(lines, max_size=600))
+    def test_l1_state_independent_of_victim_cache(self, refs):
+        config = CacheConfig(1024, 16)
+        plain = CacheLevel(config)
+        with_vc = CacheLevel(config, VictimCache(3))
+        for line in refs:
+            plain.access_line(line)
+            with_vc.access_line(line)
+        assert sorted(plain.cache.resident_lines()) == sorted(
+            with_vc.cache.resident_lines()
+        )
+        assert plain.stats.demand_misses == with_vc.stats.demand_misses
+
+    @settings(deadline=None, max_examples=30)
+    @given(refs=st.lists(lines, max_size=400))
+    def test_more_entries_never_fewer_hits(self, refs):
+        config = CacheConfig(1024, 16)
+        removed = []
+        for entries in (1, 2, 4, 8):
+            level = CacheLevel(config, VictimCache(entries))
+            for line in refs:
+                level.access_line(line)
+            removed.append(level.stats.removed_misses)
+        assert removed == sorted(removed)

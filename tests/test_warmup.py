@@ -1,0 +1,79 @@
+"""Tests for steady-state warm-up measurement."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.types import MissKind
+from repro.experiments.runner import run_level
+from repro.hierarchy.level import CacheLevel
+
+CONFIG = CacheConfig(256, 16)  # 16 lines
+
+
+class TestResetStats:
+    def test_counters_zeroed_state_kept(self):
+        level = CacheLevel(CONFIG, classify=True)
+        level.access_line(1)
+        level.access_line(2)
+        level.reset_stats()
+        assert level.stats.accesses == 0
+        # Cache contents survive: the next access is a hit.
+        assert level.access_line(1).name == "HIT"
+
+    def test_classifier_keeps_first_reference_history(self):
+        level = CacheLevel(CONFIG, classify=True)
+        level.access_line(1)        # compulsory (warm-up)
+        level.access_line(17)       # same set: evicts 1
+        level.reset_stats()
+        # 1 was referenced during warm-up, so its re-miss is a CONFLICT
+        # (the 16-entry shadow still holds it), not compulsory.
+        level.access_line(1)
+        assert level.classifier.counts[MissKind.COMPULSORY] == 0
+        assert level.classifier.conflict_misses == 1
+
+    def test_classifier_shadow_state_kept(self):
+        level = CacheLevel(CONFIG, classify=True)
+        for line in range(20):       # overflow the 16-entry shadow
+            level.access_line(line)
+        level.reset_stats()
+        level.access_line(0)         # evicted from shadow: capacity
+        assert level.classifier.capacity_misses == 1
+
+
+class TestRunLevelWarmup:
+    def test_warmup_discounts_cold_misses(self):
+        # One pass over 8 lines, repeated: with warm-up covering the
+        # first pass, the second pass is all hits.
+        addresses = [line * 16 for line in range(8)] * 2
+        cold = run_level(addresses, CONFIG)
+        warm = run_level(addresses, CONFIG, warmup=8)
+        assert cold.misses == 8
+        assert warm.misses == 0
+        assert warm.stats.accesses == 8
+
+    def test_zero_warmup_is_default_behaviour(self):
+        addresses = [line * 16 for line in range(8)]
+        assert (
+            run_level(addresses, CONFIG).misses
+            == run_level(addresses, CONFIG, warmup=0).misses
+        )
+
+    def test_warmup_longer_than_trace_measures_nothing(self):
+        addresses = [0, 16, 32]
+        run = run_level(addresses, CONFIG, warmup=10)
+        assert run.stats.accesses == 3  # warmup point never reached
+
+    def test_warmup_with_augmentation_keeps_structure_state(self):
+        from repro.buffers.victim_cache import VictimCache
+
+        # Conflict pair: warmed victim cache hits immediately after reset.
+        addresses = [0, 256, 0, 256, 0, 256]
+        run = run_level(addresses, CONFIG, VictimCache(1), warmup=2)
+        assert run.stats.accesses == 4
+        assert run.removed == 4
+
+    def test_steady_rate_at_most_slightly_above_cold(self, small_by_name):
+        addresses = small_by_name["grr"].data_addresses
+        cold = run_level(addresses, CONFIG)
+        warm = run_level(addresses, CONFIG, warmup=len(addresses) // 3)
+        assert warm.stats.miss_rate <= cold.stats.miss_rate * 1.15

@@ -1,0 +1,144 @@
+"""Unit tests for the write-policy models (§2 extension)."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import AccessKind
+from repro.hierarchy.write_policy import (
+    CoalescingWriteBuffer,
+    WritePolicy,
+    WritePolicyCache,
+)
+
+CONFIG = CacheConfig(256, 16)  # 16 lines
+
+
+def make(policy, buffer_entries=4):
+    return WritePolicyCache(CONFIG, policy, buffer_entries)
+
+
+class TestCoalescingWriteBuffer:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ConfigurationError):
+            CoalescingWriteBuffer(0)
+
+    def test_coalesces_same_line(self):
+        buffer = CoalescingWriteBuffer(2)
+        buffer.write(5)
+        buffer.write(5)
+        assert buffer.coalesced == 1
+        assert buffer.drains == 0
+        assert buffer.occupancy() == 1
+
+    def test_overflow_drains_oldest(self):
+        buffer = CoalescingWriteBuffer(2)
+        for line in (1, 2, 3):
+            buffer.write(line)
+        assert buffer.drains == 1
+        assert buffer.occupancy() == 2
+
+    def test_flush(self):
+        buffer = CoalescingWriteBuffer(4)
+        buffer.write(1)
+        buffer.write(2)
+        buffer.flush()
+        assert buffer.drains == 2
+        assert buffer.occupancy() == 0
+
+
+class TestWriteThrough:
+    def test_store_miss_does_not_allocate(self):
+        cache = make(WritePolicy.WRITE_THROUGH)
+        assert not cache.access(AccessKind.STORE, 0x100)
+        assert not cache.cache.probe(0x10)
+        assert cache.traffic.fills == 0
+
+    def test_load_miss_allocates(self):
+        cache = make(WritePolicy.WRITE_THROUGH)
+        assert not cache.access(AccessKind.LOAD, 0x100)
+        assert cache.cache.probe(0x10)
+        assert cache.traffic.fills == 1
+
+    def test_every_store_enters_write_buffer(self):
+        cache = make(WritePolicy.WRITE_THROUGH)
+        cache.access(AccessKind.LOAD, 0x100)
+        cache.access(AccessKind.STORE, 0x100)   # hit, still written through
+        cache.access(AccessKind.STORE, 0x104)   # same line: coalesces
+        traffic = cache.finish()
+        assert traffic.buffer_drains == 1
+        assert traffic.coalesced_stores == 1
+
+    def test_rejects_ifetch(self):
+        with pytest.raises(ValueError):
+            make(WritePolicy.WRITE_THROUGH).access(AccessKind.IFETCH, 0)
+
+
+class TestWriteBack:
+    def test_store_miss_allocates_dirty(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.STORE, 0x100)
+        assert cache.cache.probe(0x10)
+        traffic = cache.finish()
+        assert traffic.fills == 1
+        assert traffic.writebacks == 1  # dirty residue at finish()
+
+    def test_clean_eviction_costs_nothing(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.LOAD, 0)          # line 0
+        cache.access(AccessKind.LOAD, 256)        # same set, evicts clean
+        assert cache.traffic.writebacks == 0
+
+    def test_dirty_eviction_writes_back(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.STORE, 0)         # dirty line 0
+        cache.access(AccessKind.LOAD, 256)        # evicts dirty victim
+        assert cache.traffic.writebacks == 1
+
+    def test_store_hit_dirties(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.LOAD, 0)
+        cache.access(AccessKind.STORE, 0)
+        cache.access(AccessKind.LOAD, 256)
+        assert cache.traffic.writebacks == 1
+
+    def test_no_write_buffer(self):
+        assert make(WritePolicy.WRITE_BACK).write_buffer is None
+
+
+class TestTrafficAccounting:
+    def test_bytes_to_next_level(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.STORE, 0)
+        traffic = cache.finish()
+        # 1 fill + 1 residual writeback, 16B lines.
+        assert traffic.bytes_to_next_level(16) == 32
+
+    def test_miss_rate(self):
+        cache = make(WritePolicy.WRITE_BACK)
+        cache.access(AccessKind.LOAD, 0)
+        cache.access(AccessKind.LOAD, 0)
+        assert cache.traffic.miss_rate == pytest.approx(0.5)
+
+    def test_load_store_counters(self):
+        cache = make(WritePolicy.WRITE_THROUGH)
+        cache.access(AccessKind.LOAD, 0)
+        cache.access(AccessKind.STORE, 0)
+        cache.access(AccessKind.STORE, 64)
+        assert cache.traffic.loads == 1
+        assert cache.traffic.stores == 2
+
+
+class TestPolicyContrast:
+    def test_write_through_moves_more_bytes_on_store_heavy_stream(self):
+        """The §2 bandwidth argument, in miniature."""
+        wt = make(WritePolicy.WRITE_THROUGH)
+        wb = make(WritePolicy.WRITE_BACK)
+        # Repeated stores to a small resident set.
+        for i in range(200):
+            address = (i % 8) * 16
+            wt.access(AccessKind.STORE, address)
+            wb.access(AccessKind.STORE, address)
+        wt_bytes = wt.finish().bytes_to_next_level(16)
+        wb_bytes = wb.finish().bytes_to_next_level(16)
+        assert wt_bytes > wb_bytes
