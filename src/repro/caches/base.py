@@ -24,6 +24,10 @@ __all__ = ["Cache"]
 class Cache(abc.ABC):
     """Tag store of one cache level, addressed by line address."""
 
+    # Empty so subclasses may opt into __slots__ (the hot tag stores do);
+    # subclasses that declare no __slots__ keep a __dict__ as usual.
+    __slots__ = ()
+
     @abc.abstractmethod
     def probe(self, line_addr: int) -> bool:
         """Return True when the line is resident; never changes state."""

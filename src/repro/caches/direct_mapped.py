@@ -26,6 +26,8 @@ _EMPTY = None
 class DirectMappedCache(Cache):
     """A direct-mapped cache of ``size_bytes / line_size`` one-line sets."""
 
+    __slots__ = ("config", "num_lines", "_index_mask", "_tags")
+
     def __init__(self, config: CacheConfig):
         self.config = config
         self.num_lines = config.num_lines
@@ -50,6 +52,17 @@ class DirectMappedCache(Cache):
         if victim == line_addr:
             return None
         return victim
+
+    def access_and_fill(self, line_addr: int) -> bool:
+        # Single-dispatch version of the base-class access()+fill() pair:
+        # one index computation and no extra method calls, since this is
+        # the innermost operation of every plain miss-rate simulation.
+        tags = self._tags
+        index = line_addr & self._index_mask
+        if tags[index] == line_addr:
+            return True
+        tags[index] = line_addr
+        return False
 
     def invalidate(self, line_addr: int) -> bool:
         index = line_addr & self._index_mask

@@ -38,6 +38,8 @@ class ReplacementPolicy(enum.Enum):
 class FullyAssociativeCache(Cache):
     """A fully-associative tag store of *capacity* lines."""
 
+    __slots__ = ("capacity", "policy", "_rng", "_lines", "_is_lru")
+
     def __init__(
         self,
         capacity: int,
@@ -48,6 +50,7 @@ class FullyAssociativeCache(Cache):
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.policy = policy
+        self._is_lru = policy is ReplacementPolicy.LRU
         self._rng = random.Random(seed)
         # Ordered LRU -> MRU for LRU; insertion order for FIFO/RANDOM.
         self._lines: "OrderedDict[int, None]" = OrderedDict()
@@ -58,23 +61,36 @@ class FullyAssociativeCache(Cache):
         return line_addr in self._lines
 
     def access(self, line_addr: int) -> bool:
-        if line_addr not in self._lines:
+        lines = self._lines
+        if line_addr not in lines:
             return False
-        if self.policy is ReplacementPolicy.LRU:
-            self._lines.move_to_end(line_addr)
+        if self._is_lru:
+            lines.move_to_end(line_addr)
         return True
 
     def fill(self, line_addr: int) -> Optional[int]:
-        if line_addr in self._lines:
-            if self.policy is ReplacementPolicy.LRU:
-                self._lines.move_to_end(line_addr)
+        lines = self._lines
+        if line_addr in lines:
+            if self._is_lru:
+                lines.move_to_end(line_addr)
             return None
         victim: Optional[int] = None
-        if len(self._lines) >= self.capacity:
+        if len(lines) >= self.capacity:
             victim = self._choose_victim()
-            del self._lines[victim]
-        self._lines[line_addr] = None
+            del lines[victim]
+        lines[line_addr] = None
         return victim
+
+    def access_and_fill(self, line_addr: int) -> bool:
+        lines = self._lines
+        if line_addr in lines:
+            if self._is_lru:
+                lines.move_to_end(line_addr)
+            return True
+        if len(lines) >= self.capacity:
+            del lines[self._choose_victim()]
+        lines[line_addr] = None
+        return False
 
     def invalidate(self, line_addr: int) -> bool:
         if line_addr in self._lines:

@@ -44,6 +44,22 @@ from . import (
 from .base import FigureResult, Series, TableResult
 from .plotting import plot_figure, render_ascii_chart
 from .checks import CheckOutcome, ShapeCheck, render_outcomes, run_checks
+from .engine import (
+    EntrySweepJob,
+    ExperimentJob,
+    ExperimentOutcome,
+    LevelJob,
+    LevelSummary,
+    RunSweepJob,
+    TraceKey,
+    build_structure,
+    default_jobs,
+    execute_job,
+    resolve_jobs,
+    run_experiments,
+    run_jobs,
+    spec_of,
+)
 from .grid import GridSpec, default_structures, sweep_grid
 from .timeseries import miss_rate_series, removal_rate_series
 from .report import generate_report, write_report
@@ -51,11 +67,13 @@ from .runner import run_level, run_system
 from .sweeps import (
     EntrySweep,
     RunLengthSweep,
+    batch_entry_sweeps,
+    batch_run_sweeps,
     miss_cache_sweep,
     stream_buffer_run_sweep,
     victim_cache_sweep,
 )
-from .workloads import suite
+from .workloads import materialized_trace, suite
 
 #: Experiment id -> run function, in the paper's presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable] = {
@@ -97,8 +115,25 @@ __all__ = [
     "FigureResult",
     "Series",
     "suite",
+    "materialized_trace",
     "run_level",
     "run_system",
+    "TraceKey",
+    "LevelJob",
+    "LevelSummary",
+    "EntrySweepJob",
+    "RunSweepJob",
+    "ExperimentJob",
+    "ExperimentOutcome",
+    "build_structure",
+    "spec_of",
+    "default_jobs",
+    "resolve_jobs",
+    "execute_job",
+    "run_jobs",
+    "run_experiments",
+    "batch_entry_sweeps",
+    "batch_run_sweeps",
     "miss_cache_sweep",
     "victim_cache_sweep",
     "stream_buffer_run_sweep",

@@ -6,9 +6,14 @@ Usage::
     repro-experiments figure_3_5 ...     # run selected experiments
     repro-experiments --list             # list experiment ids
     repro-experiments --scale 30000      # smaller/larger traces
+    repro-experiments --jobs 4           # fan experiments over 4 workers
 
 The scale flag (or the REPRO_SCALE environment variable) sets the
-instruction count per unit of Table 2-1 relative trace length.
+instruction count per unit of Table 2-1 relative trace length.  The
+jobs flag (or REPRO_JOBS) sets the worker-process count; the default of
+1 runs everything serially in this process, and any higher count
+produces identical rendered output in whatever order the experiments
+were selected.
 """
 
 from __future__ import annotations
@@ -43,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per unit of relative trace length (default: registry default)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for running experiments (default: REPRO_JOBS or 1)",
+    )
     parser.add_argument(
         "--plot",
         action="store_true",
@@ -80,27 +91,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("use --list to see available ids", file=sys.stderr)
         return 2
-    # Materialize the shared suite once so per-experiment times are honest.
-    traces = suite(args.scale, args.seed)
+    from .engine import resolve_jobs, run_experiments
+
+    jobs = resolve_jobs(args.jobs)
     if args.report:
+        # Reports render from one shared suite; keep them serial.
         from .report import write_report
 
         path = write_report(
-            args.report, selected, traces=traces, scale=args.scale, seed=args.seed
+            args.report,
+            selected,
+            traces=suite(args.scale, args.seed),
+            scale=args.scale,
+            seed=args.seed,
         )
         print(f"wrote report to {path}")
         return 0
+    if jobs > 1:
+        # Fan out over the engine; outcomes come back in selection order
+        # with per-experiment wall time measured inside the worker.
+        for outcome in run_experiments(selected, scale=args.scale, seed=args.seed, jobs=jobs):
+            _print_result(outcome.name, outcome.result, outcome.elapsed, args.plot)
+        return 0
+    # Materialize the shared suite once so per-experiment times are honest.
+    traces = suite(args.scale, args.seed)
     for name in selected:
         started = time.time()
         result = ALL_EXPERIMENTS[name](traces=traces, scale=args.scale, seed=args.seed)
-        elapsed = time.time() - started
-        print(result.render())
-        if args.plot and isinstance(result, FigureResult):
-            print()
-            print(plot_figure(result))
-        print(f"[{name} in {elapsed:.1f}s]")
-        print()
+        _print_result(name, result, time.time() - started, args.plot)
     return 0
+
+
+def _print_result(name: str, result, elapsed: float, plot: bool) -> None:
+    print(result.render())
+    if plot and isinstance(result, FigureResult):
+        print()
+        print(plot_figure(result))
+    print(f"[{name} in {elapsed:.1f}s]")
+    print()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,423 @@
+"""Parallel experiment engine: picklable simulation jobs over a process pool.
+
+Trace-driven cache studies are embarrassingly parallel: every
+``(trace, cache geometry, helper structure)`` point is an independent
+simulation, and the repo runs hundreds of them per full reproduction.
+This module turns each point into a small picklable *job* — workload
+name, scale, seed, side, geometry, and a declarative structure spec —
+and fans jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* **Per-worker suite cache** — a worker initializer materializes each
+  distinct ``(name, scale, seed)`` trace once (through
+  :func:`repro.experiments.workloads.materialized_trace`, whose
+  process-level memoization then serves every later job in that worker;
+  on fork-based platforms the parent's already-built traces are
+  inherited copy-on-write, so warming is effectively free).
+* **Deterministic ordering** — results always come back in job-submission
+  order, so a parallel run is row-for-row identical to a serial one.
+* **Serial fallback** — with ``jobs=1`` (the default, or via the
+  ``REPRO_JOBS`` environment variable) everything runs inline in the
+  calling process; no pool, no pickling, byte-identical results.
+
+Job kinds
+---------
+
+=================== ===================================================
+:class:`LevelJob`    one single-level replay → :class:`LevelSummary`
+:class:`EntrySweepJob`  one single-pass miss/victim-cache size sweep →
+                     :class:`~repro.experiments.sweeps.EntrySweep`
+:class:`RunSweepJob` one stream-buffer run-length sweep →
+                     :class:`~repro.experiments.sweeps.RunLengthSweep`
+:class:`ExperimentJob`  one whole experiment module →
+                     :class:`ExperimentOutcome`
+=================== ===================================================
+
+Helper structures are described by *spec strings* rather than factories
+so jobs stay picklable: ``"none"``, ``"mc4"`` (4-entry miss cache),
+``"vc4"`` (victim cache), ``"sb4"`` (4-entry stream buffer), and
+``"sb4x4"`` (4-way × 4-entry multi-way buffer).  :func:`spec_of` maps a
+live structure built with the paper's default options back to its spec,
+which is how :func:`~repro.experiments.grid.sweep_grid` converts its
+factory axis into jobs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..buffers.base import L1Augmentation
+from ..buffers.miss_cache import MissCache
+from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from ..buffers.victim_cache import VictimCache
+from ..caches.fully_associative import ReplacementPolicy
+from ..common.config import CacheConfig
+from ..common.errors import ConfigurationError, UnknownWorkloadError
+from ..common.stats import percent, safe_div
+from ..traces.registry import get_workload
+from .base import FigureResult, TableResult
+from .runner import run_level
+from .sweeps import (
+    EntrySweep,
+    RunLengthSweep,
+    miss_cache_sweep,
+    stream_buffer_run_sweep,
+    victim_cache_sweep,
+)
+from .workloads import BENCHMARK_NAMES, materialized_trace, suite
+
+__all__ = [
+    "TraceKey",
+    "LevelJob",
+    "LevelSummary",
+    "EntrySweepJob",
+    "RunSweepJob",
+    "ExperimentJob",
+    "ExperimentOutcome",
+    "build_structure",
+    "spec_of",
+    "default_jobs",
+    "resolve_jobs",
+    "execute_job",
+    "run_jobs",
+    "run_experiments",
+]
+
+
+# -- trace identity -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceKey:
+    """Identity of a registry trace: enough to rebuild it anywhere.
+
+    Workers regenerate the trace from this recipe instead of receiving
+    megabytes of pickled address pairs; the synthetic builders are
+    deterministic in ``(name, scale, seed)``, so the rebuilt trace is
+    identical to the parent's.
+    """
+
+    name: str
+    scale: Optional[int]
+    seed: int = 0
+
+    @classmethod
+    def of(cls, trace) -> Optional["TraceKey"]:
+        """Key for a registry-built materialized trace, else None.
+
+        Traces assembled by hand (``trace_from_pairs``, file loads)
+        carry no rebuild recipe; callers fall back to serial execution
+        for those.
+        """
+        meta = getattr(trace, "meta", None)
+        if meta is None or not getattr(meta, "scale", 0):
+            return None
+        try:
+            get_workload(meta.name)
+        except UnknownWorkloadError:
+            return None
+        return cls(name=meta.name, scale=meta.scale, seed=meta.seed)
+
+    def trace(self):
+        """The (process-memoized) materialized trace this key names."""
+        return materialized_trace(self.name, self.scale, self.seed)
+
+
+# -- structure specs ----------------------------------------------------------
+
+_SPEC_PATTERNS: Sequence[Tuple[re.Pattern, str]] = (
+    (re.compile(r"^mc(\d+)$"), "mc"),
+    (re.compile(r"^vc(\d+)$"), "vc"),
+    (re.compile(r"^sb(\d+)$"), "sb"),
+    (re.compile(r"^sb(\d+)x(\d+)$"), "msb"),
+)
+
+
+def build_structure(spec: Optional[str]) -> Optional[L1Augmentation]:
+    """Build a helper structure from its spec string (None for ``"none"``)."""
+    if spec is None or spec == "none":
+        return None
+    for pattern, kind in _SPEC_PATTERNS:
+        match = pattern.match(spec)
+        if match is None:
+            continue
+        if kind == "mc":
+            return MissCache(int(match.group(1)))
+        if kind == "vc":
+            return VictimCache(int(match.group(1)))
+        if kind == "sb":
+            return StreamBuffer(int(match.group(1)))
+        return MultiWayStreamBuffer(int(match.group(1)), int(match.group(2)))
+    raise ConfigurationError(
+        f"unknown structure spec {spec!r}; expected none/mc<N>/vc<N>/sb<N>/sb<W>x<N>"
+    )
+
+
+def _default_stream_buffer(buffer: StreamBuffer) -> bool:
+    return (
+        buffer.max_run is None
+        and buffer.run_offsets is None
+        and not buffer.model_availability
+        and buffer.fetch_sink is None
+        and buffer.head_only
+        and not buffer.allocation_filter
+    )
+
+
+def spec_of(structure: Optional[L1Augmentation]) -> Optional[str]:
+    """Spec string for a structure built with the paper's defaults.
+
+    Returns None when the structure carries non-default options (depth
+    tracking, availability modelling, ablation flags, ...) — those runs
+    cannot be described declaratively and must stay serial.
+    """
+    if structure is None:
+        return "none"
+    if type(structure) is MissCache:
+        if structure.hit_depths is None and structure._store.policy is ReplacementPolicy.LRU:
+            return f"mc{structure.entries}"
+        return None
+    if type(structure) is VictimCache:
+        if (
+            structure.hit_depths is None
+            and structure.swap_on_hit
+            and structure._store.policy is ReplacementPolicy.LRU
+        ):
+            return f"vc{structure.entries}"
+        return None
+    if type(structure) is StreamBuffer:
+        if _default_stream_buffer(structure):
+            return f"sb{structure.entries}"
+        return None
+    if type(structure) is MultiWayStreamBuffer:
+        ways = structure.way_buffers()
+        if all(_default_stream_buffer(b) for b in ways):
+            return f"sb{structure.ways}x{ways[0].entries}"
+        return None
+    return None
+
+
+# -- jobs ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LevelJob:
+    """One single-level replay of a trace side through a cache geometry."""
+
+    trace: TraceKey
+    side: str
+    size_bytes: int
+    line_size: int
+    structure: Optional[str] = None
+    warmup: int = 0
+    classify: bool = False
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Picklable statistics of one :class:`LevelJob` replay."""
+
+    accesses: int
+    demand_misses: int
+    removed_misses: int
+    misses_to_next_level: int
+    stream_stall_cycles: int = 0
+    #: Only populated when the job ran with ``classify=True``.
+    conflict_misses: Optional[int] = None
+
+    @property
+    def miss_rate(self) -> float:
+        return safe_div(self.demand_misses, self.accesses)
+
+    @property
+    def effective_miss_rate(self) -> float:
+        return safe_div(self.misses_to_next_level, self.accesses)
+
+    @property
+    def percent_removed(self) -> float:
+        return percent(self.removed_misses, self.demand_misses)
+
+
+@dataclass(frozen=True)
+class EntrySweepJob:
+    """One single-pass miss/victim-cache entry sweep (Figures 3-3/3-5)."""
+
+    trace: TraceKey
+    side: str
+    size_bytes: int
+    line_size: int
+    kind: str = "miss"  # "miss" | "victim"
+    max_entries: int = 15
+
+
+@dataclass(frozen=True)
+class RunSweepJob:
+    """One stream-buffer run-length sweep (Figures 4-3/4-5)."""
+
+    trace: TraceKey
+    side: str
+    size_bytes: int
+    line_size: int
+    ways: int = 1
+    entries: int = 4
+    max_run: int = 16
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One whole experiment module run at a given scale and seed."""
+
+    name: str
+    scale: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """Result of an :class:`ExperimentJob`, with worker-side timing."""
+
+    name: str
+    result: Union[TableResult, FigureResult]
+    elapsed: float
+
+
+Job = Union[LevelJob, EntrySweepJob, RunSweepJob, ExperimentJob]
+
+
+# -- execution ----------------------------------------------------------------
+
+
+def execute_job(job: Job):
+    """Run one job in the current process and return its picklable result."""
+    if isinstance(job, LevelJob):
+        addresses = job.trace.trace().stream(job.side)
+        config = CacheConfig(job.size_bytes, job.line_size)
+        run = run_level(
+            addresses,
+            config,
+            build_structure(job.structure),
+            classify=job.classify,
+            warmup=job.warmup,
+        )
+        stats = run.stats
+        return LevelSummary(
+            accesses=stats.accesses,
+            demand_misses=stats.demand_misses,
+            removed_misses=stats.removed_misses,
+            misses_to_next_level=stats.misses_to_next_level,
+            stream_stall_cycles=stats.stream_stall_cycles,
+            conflict_misses=run.conflicts if job.classify else None,
+        )
+    if isinstance(job, EntrySweepJob):
+        addresses = job.trace.trace().stream(job.side)
+        config = CacheConfig(job.size_bytes, job.line_size)
+        sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}.get(job.kind)
+        if sweep_fn is None:
+            raise ConfigurationError(f"unknown entry-sweep kind {job.kind!r}")
+        return sweep_fn(addresses, config, job.max_entries)
+    if isinstance(job, RunSweepJob):
+        addresses = job.trace.trace().stream(job.side)
+        config = CacheConfig(job.size_bytes, job.line_size)
+        return stream_buffer_run_sweep(
+            addresses,
+            config,
+            ways=job.ways,
+            entries=job.entries,
+            max_run=job.max_run,
+        )
+    if isinstance(job, ExperimentJob):
+        # Local import: the experiment registry lives in the package
+        # __init__, which itself imports this module.
+        from . import ALL_EXPERIMENTS
+
+        started = time.time()
+        result = ALL_EXPERIMENTS[job.name](traces=None, scale=job.scale, seed=job.seed)
+        return ExperimentOutcome(name=job.name, result=result, elapsed=time.time() - started)
+    raise TypeError(f"not an engine job: {job!r}")
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ConfigurationError(f"REPRO_JOBS must be an integer, got {raw!r}") from None
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Explicit job count, or the ``REPRO_JOBS`` default when None."""
+    return default_jobs() if jobs is None else max(1, jobs)
+
+
+def _warm_worker(trace_keys: Tuple[TraceKey, ...]) -> None:
+    """Worker initializer: materialize each distinct trace exactly once.
+
+    Later jobs in this worker hit the process-level memoization in
+    :mod:`repro.experiments.workloads` instead of rebuilding.
+    """
+    for key in trace_keys:
+        key.trace()
+
+
+def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceKey, ...]:
+    seen = {}
+    for job in jobs:
+        key = getattr(job, "trace", None)
+        if isinstance(key, TraceKey):
+            seen[key] = None
+    return tuple(seen)
+
+
+def run_jobs(job_list: Sequence[Job], jobs: Optional[int] = None) -> List:
+    """Execute jobs, returning results in submission order.
+
+    ``jobs=1`` (or ``REPRO_JOBS`` unset) runs everything inline; with
+    more workers the jobs fan out over a process pool whose workers each
+    cache the traces they need.
+    """
+    job_list = list(job_list)
+    workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
+    if workers <= 1:
+        return [execute_job(job) for job in job_list]
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_warm_worker,
+        initargs=(_distinct_trace_keys(job_list),),
+    ) as pool:
+        return list(pool.map(execute_job, job_list))
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: Optional[int] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[ExperimentOutcome]:
+    """Run whole experiment modules, optionally in parallel.
+
+    Results come back in the order of *names* regardless of which worker
+    finished first, so the rendered output of a parallel run is
+    identical to the serial one.
+    """
+    job_list = [ExperimentJob(name, scale, seed) for name in names]
+    workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
+    if workers <= 1:
+        return [execute_job(job) for job in job_list]
+    # Build the suite once in the parent before forking: fork-based
+    # platforms then share the materialized traces copy-on-write, and
+    # spawn-based ones rebuild them once per worker via the initializer.
+    suite(scale, seed)
+    suite_keys = tuple(TraceKey(name, scale, seed) for name in BENCHMARK_NAMES)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_warm_worker,
+        initargs=(suite_keys,),
+    ) as pool:
+        return list(pool.map(execute_job, job_list))

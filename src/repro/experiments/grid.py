@@ -66,41 +66,105 @@ class GridSpec:
         return len(self.cache_sizes_kb) * len(self.line_sizes) * len(self.structures)
 
 
+def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[List[List]]:
+    """Grid rows via the engine, or None when the sweep is not job-able.
+
+    Every grid point must be expressible as a picklable job: each trace
+    needs a registry rebuild recipe (:meth:`TraceKey.of`) and each
+    structure factory must produce a spec-describable structure
+    (:func:`spec_of`).  Anything else — hand-built traces, ablation
+    structures with exotic options — falls back to the serial path.
+    """
+    from .engine import LevelJob, TraceKey, run_jobs, spec_of
+
+    trace_keys = [TraceKey.of(trace) for trace in traces]
+    if any(key is None for key in trace_keys):
+        return None
+    structure_specs = {}
+    for label, factory in spec.structures.items():
+        structure_specs[label] = spec_of(factory() if factory is not None else None)
+        if structure_specs[label] is None:
+            return None
+    job_list = []
+    points = []
+    for trace, key in zip(traces, trace_keys):
+        for size_kb in spec.cache_sizes_kb:
+            for line_size in spec.line_sizes:
+                for label in spec.structures:
+                    job_list.append(
+                        LevelJob(
+                            trace=key,
+                            side=side,
+                            size_bytes=size_kb * 1024,
+                            line_size=line_size,
+                            structure=structure_specs[label],
+                            warmup=spec.warmup,
+                        )
+                    )
+                    points.append((trace.name, size_kb, line_size, label))
+    summaries = run_jobs(job_list, jobs=jobs)
+    return [
+        [
+            name,
+            size_kb,
+            line_size,
+            label,
+            round(summary.miss_rate, 4),
+            round(summary.percent_removed, 1),
+            round(summary.effective_miss_rate, 4),
+        ]
+        for (name, size_kb, line_size, label), summary in zip(points, summaries)
+    ]
+
+
 def sweep_grid(
     traces,
     spec: GridSpec,
     side: str = "d",
     experiment_id: str = "grid",
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """Run every grid point for every trace; long-format results.
 
     Columns: trace, cache KB, line B, structure, miss rate, % removed,
     % reaching the next level.  Suitable for pivoting/plotting by the
     caller; each row is one independent simulation.
+
+    With ``jobs > 1`` (or ``REPRO_JOBS`` set) the grid points fan out
+    over the parallel engine; row order and values are identical to the
+    serial sweep.  Traces without a registry recipe or structures the
+    engine cannot describe fall back to serial execution.
     """
-    rows: List[List] = []
-    for trace in traces:
-        addresses = trace.stream(side)
-        for size_kb in spec.cache_sizes_kb:
-            for line_size in spec.line_sizes:
-                config = CacheConfig(size_kb * 1024, line_size)
-                for label, factory in spec.structures.items():
-                    augmentation = factory() if factory is not None else None
-                    run = run_level(
-                        addresses, config, augmentation, warmup=spec.warmup
-                    )
-                    stats = run.stats
-                    rows.append(
-                        [
-                            trace.name,
-                            size_kb,
-                            line_size,
-                            label,
-                            round(stats.miss_rate, 4),
-                            round(percent(stats.removed_misses, stats.demand_misses), 1),
-                            round(stats.effective_miss_rate, 4),
-                        ]
-                    )
+    from .engine import resolve_jobs
+
+    traces = list(traces)
+    rows: Optional[List[List]] = None
+    if resolve_jobs(jobs) > 1:
+        rows = _parallel_rows(traces, spec, side, resolve_jobs(jobs))
+    if rows is None:
+        rows = []
+        for trace in traces:
+            addresses = trace.stream(side)
+            for size_kb in spec.cache_sizes_kb:
+                for line_size in spec.line_sizes:
+                    config = CacheConfig(size_kb * 1024, line_size)
+                    for label, factory in spec.structures.items():
+                        augmentation = factory() if factory is not None else None
+                        run = run_level(
+                            addresses, config, augmentation, warmup=spec.warmup
+                        )
+                        stats = run.stats
+                        rows.append(
+                            [
+                                trace.name,
+                                size_kb,
+                                line_size,
+                                label,
+                                round(stats.miss_rate, 4),
+                                round(percent(stats.removed_misses, stats.demand_misses), 1),
+                                round(stats.effective_miss_rate, 4),
+                            ]
+                        )
     return TableResult(
         experiment_id=experiment_id,
         title=f"design-space grid sweep ({side}-side, {spec.num_points} points/trace)",

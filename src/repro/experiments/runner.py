@@ -72,12 +72,18 @@ def run_level(
     level = CacheLevel(config, augmentation, classify)
     shift = config.offset_bits
     access = level.access_line
-    now = 0
-    for address in byte_addresses:
-        access(address >> shift, now)
-        now += 1
-        if warmup and now == warmup:
-            level.reset_stats()
+    if warmup:
+        now = 0
+        for address in byte_addresses:
+            access(address >> shift, now)
+            now += 1
+            if now == warmup:
+                level.reset_stats()
+    else:
+        # No warm-up boundary to watch for: the common case gets a loop
+        # with nothing in it but the access itself.
+        for now, address in enumerate(byte_addresses):
+            access(address >> shift, now)
     return LevelRun(level)
 
 

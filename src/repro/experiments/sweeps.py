@@ -41,6 +41,8 @@ __all__ = [
     "victim_cache_sweep",
     "RunLengthSweep",
     "stream_buffer_run_sweep",
+    "batch_entry_sweeps",
+    "batch_run_sweeps",
 ]
 
 
@@ -139,3 +141,85 @@ def stream_buffer_run_sweep(
     assert offsets is not None
     removed = [offsets.count_at_most(k) for k in range(max_run + 1)]
     return RunLengthSweep(total_misses=run.misses, removed_by_run=removed)
+
+
+# -- engine-backed batch evaluation ------------------------------------------
+#
+# One figure evaluates a sweep per (benchmark, side) — a dozen
+# independent simulations.  These helpers describe the whole batch as
+# picklable engine jobs so it can fan out over worker processes; with
+# jobs=1 they run inline and are exactly equivalent to calling the
+# single-sweep functions in a loop.
+
+
+def batch_entry_sweeps(
+    traces,
+    config: CacheConfig,
+    kind: str = "miss",
+    sides: Sequence[str] = ("i", "d"),
+    max_entries: int = 15,
+    jobs=None,
+) -> List[EntrySweep]:
+    """Entry sweeps for every (side, trace) pair, in nested order.
+
+    Results are ordered ``for side in sides: for trace in traces`` —
+    the iteration order of Figures 3-3/3-5.  Traces without a registry
+    rebuild recipe run serially in the calling process.
+    """
+    from .engine import EntrySweepJob, TraceKey, resolve_jobs, run_jobs
+
+    traces = list(traces)
+    pairs = [(side, trace) for side in sides for trace in traces]
+    keys = {id(trace): TraceKey.of(trace) for trace in traces}
+    sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}[kind]
+    if resolve_jobs(jobs) > 1 and all(key is not None for key in keys.values()):
+        job_list = [
+            EntrySweepJob(
+                trace=keys[id(trace)],
+                side=side,
+                size_bytes=config.size_bytes,
+                line_size=config.line_size,
+                kind=kind,
+                max_entries=max_entries,
+            )
+            for side, trace in pairs
+        ]
+        return run_jobs(job_list, jobs=jobs)
+    return [sweep_fn(trace.stream(side), config, max_entries) for side, trace in pairs]
+
+
+def batch_run_sweeps(
+    traces,
+    config: CacheConfig,
+    sides: Sequence[str] = ("i", "d"),
+    ways: int = 1,
+    entries: int = 4,
+    max_run: int = 16,
+    jobs=None,
+) -> List[RunLengthSweep]:
+    """Stream-buffer run sweeps for every (side, trace) pair, nested order."""
+    from .engine import RunSweepJob, TraceKey, resolve_jobs, run_jobs
+
+    traces = list(traces)
+    pairs = [(side, trace) for side in sides for trace in traces]
+    keys = {id(trace): TraceKey.of(trace) for trace in traces}
+    if resolve_jobs(jobs) > 1 and all(key is not None for key in keys.values()):
+        job_list = [
+            RunSweepJob(
+                trace=keys[id(trace)],
+                side=side,
+                size_bytes=config.size_bytes,
+                line_size=config.line_size,
+                ways=ways,
+                entries=entries,
+                max_run=max_run,
+            )
+            for side, trace in pairs
+        ]
+        return run_jobs(job_list, jobs=jobs)
+    return [
+        stream_buffer_run_sweep(
+            trace.stream(side), config, ways=ways, entries=entries, max_run=max_run
+        )
+        for side, trace in pairs
+    ]

@@ -1,10 +1,23 @@
 """Shared, cached benchmark suite for the experiment modules.
 
 Building and materializing the six traces takes a couple of seconds, so
-experiments share one cached suite per ``(scale, seed)``.  The scale can
-be overridden globally with the ``REPRO_SCALE`` environment variable
-(instructions per unit of Table 2-1 relative length; the default keeps a
-full figure reproduction in the tens of seconds).
+all experiments share one process-level memoization keyed per
+``(name, scale, seed)`` trace: running "all experiments" (or a grid of
+engine jobs) builds each trace exactly once per process, no matter how
+many experiments or jobs replay it.  The engine's worker processes use
+the same cache, so each worker also materializes each trace at most once
+and reuses it across every job it executes.
+
+The scale can be overridden globally with the ``REPRO_SCALE``
+environment variable (instructions per unit of Table 2-1 relative
+length; the default keeps a full figure reproduction in the tens of
+seconds).
+
+Sharing semantics: the cached :class:`MaterializedTrace` objects are
+immutable replay buffers, shared by reference between experiments in the
+same process (and, on fork-based platforms, inherited copy-on-write by
+engine workers).  A different ``(name, scale, seed)`` is a different
+cache entry, so changing scale or seed always rebuilds.
 """
 
 from __future__ import annotations
@@ -15,9 +28,9 @@ from typing import Dict, List, Optional, Tuple
 from ..traces.registry import BENCHMARK_NAMES, build_trace
 from ..traces.trace import MaterializedTrace
 
-__all__ = ["suite", "default_scale", "BENCHMARK_NAMES"]
+__all__ = ["suite", "materialized_trace", "default_scale", "BENCHMARK_NAMES"]
 
-_CACHE: Dict[Tuple[Optional[int], int], List[MaterializedTrace]] = {}
+_TRACE_CACHE: Dict[Tuple[str, Optional[int], int], MaterializedTrace] = {}
 
 
 def default_scale() -> Optional[int]:
@@ -28,13 +41,19 @@ def default_scale() -> Optional[int]:
     return int(raw)
 
 
-def suite(scale: Optional[int] = None, seed: int = 0) -> List[MaterializedTrace]:
-    """The six materialized benchmark traces, cached per (scale, seed)."""
+def materialized_trace(
+    name: str, scale: Optional[int] = None, seed: int = 0
+) -> MaterializedTrace:
+    """One materialized benchmark trace, memoized per (name, scale, seed)."""
     if scale is None:
         scale = default_scale()
-    key = (scale, seed)
-    if key not in _CACHE:
-        _CACHE[key] = [
-            build_trace(name, scale, seed).materialize() for name in BENCHMARK_NAMES
-        ]
-    return _CACHE[key]
+    key = (name, scale, seed)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = _TRACE_CACHE[key] = build_trace(name, scale, seed).materialize()
+    return trace
+
+
+def suite(scale: Optional[int] = None, seed: int = 0) -> List[MaterializedTrace]:
+    """The six materialized benchmark traces, memoized per trace."""
+    return [materialized_trace(name, scale, seed) for name in BENCHMARK_NAMES]

@@ -9,7 +9,6 @@ helpers → refill array → update helpers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..buffers.base import L1Augmentation, NullAugmentation
@@ -21,21 +20,53 @@ from ..common.types import AccessOutcome
 
 __all__ = ["LevelStats", "CacheLevel"]
 
+_HIT = AccessOutcome.HIT
+_MISS = AccessOutcome.MISS
+_MISS_CACHE_HIT = AccessOutcome.MISS_CACHE_HIT
+_VICTIM_HIT = AccessOutcome.VICTIM_HIT
+_STREAM_HIT = AccessOutcome.STREAM_HIT
 
-@dataclass
+
 class LevelStats:
-    """Access counters for one cache level."""
+    """Access counters for one cache level.
 
-    accesses: int = 0
-    outcomes: Dict[AccessOutcome, int] = field(
-        default_factory=lambda: {outcome: 0 for outcome in AccessOutcome}
+    Kept as plain ``__slots__`` integer counters (one per
+    :class:`AccessOutcome`) rather than an outcome-keyed dict: the
+    counters are bumped once per simulated reference, so avoiding enum
+    hashing on every access is a measurable win.  The historical
+    dict-shaped view is still available through :attr:`outcomes`.
+    """
+
+    __slots__ = (
+        "accesses",
+        "hits",
+        "miss_cache_hits",
+        "victim_hits",
+        "stream_hits",
+        "misses_to_next_level",
+        "stream_stall_cycles",
     )
-    #: Extra stall cycles reported by availability-modelling stream buffers.
-    stream_stall_cycles: int = 0
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.miss_cache_hits = 0
+        self.victim_hits = 0
+        self.stream_hits = 0
+        self.misses_to_next_level = 0
+        #: Extra stall cycles reported by availability-modelling stream buffers.
+        self.stream_stall_cycles = 0
 
     @property
-    def hits(self) -> int:
-        return self.outcomes[AccessOutcome.HIT]
+    def outcomes(self) -> Dict[AccessOutcome, int]:
+        """Counter per outcome, in the historical dict shape."""
+        return {
+            _HIT: self.hits,
+            _MISS_CACHE_HIT: self.miss_cache_hits,
+            _VICTIM_HIT: self.victim_hits,
+            _STREAM_HIT: self.stream_hits,
+            _MISS: self.misses_to_next_level,
+        }
 
     @property
     def demand_misses(self) -> int:
@@ -49,15 +80,7 @@ class LevelStats:
 
     @property
     def removed_misses(self) -> int:
-        return (
-            self.outcomes[AccessOutcome.MISS_CACHE_HIT]
-            + self.outcomes[AccessOutcome.VICTIM_HIT]
-            + self.outcomes[AccessOutcome.STREAM_HIT]
-        )
-
-    @property
-    def misses_to_next_level(self) -> int:
-        return self.outcomes[AccessOutcome.MISS]
+        return self.miss_cache_hits + self.victim_hits + self.stream_hits
 
     @property
     def miss_rate(self) -> float:
@@ -70,11 +93,42 @@ class LevelStats:
 
     def record(self, outcome: AccessOutcome) -> None:
         self.accesses += 1
-        self.outcomes[outcome] += 1
+        if outcome is _HIT:
+            self.hits += 1
+        elif outcome is _MISS:
+            self.misses_to_next_level += 1
+        elif outcome is _MISS_CACHE_HIT:
+            self.miss_cache_hits += 1
+        elif outcome is _VICTIM_HIT:
+            self.victim_hits += 1
+        elif outcome is _STREAM_HIT:
+            self.stream_hits += 1
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown outcome {outcome!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LevelStats):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot) for slot in self.__slots__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{slot}={getattr(self, slot)}" for slot in self.__slots__)
+        return f"LevelStats({fields})"
 
 
 class CacheLevel:
     """A direct-mapped cache level with optional augmentation/classifier."""
+
+    __slots__ = (
+        "name",
+        "config",
+        "cache",
+        "augmentation",
+        "classifier",
+        "stats",
+        "_line_shift",
+        "_aug_is_null",
+    )
 
     def __init__(
         self,
@@ -87,6 +141,9 @@ class CacheLevel:
         self.config = config
         self.cache = DirectMappedCache(config)
         self.augmentation = augmentation if augmentation is not None else NullAugmentation()
+        # The baseline (no helper structure) is the common configuration;
+        # skipping the augmentation's no-op callbacks keeps it cheap.
+        self._aug_is_null = type(self.augmentation) is NullAugmentation
         self.classifier: Optional[MissClassifier] = (
             MissClassifier(config.num_lines) if classify else None
         )
@@ -99,19 +156,37 @@ class CacheLevel:
 
     def access_line(self, line_addr: int, now: int = 0) -> AccessOutcome:
         """Access by line address; returns where the access was satisfied."""
+        stats = self.stats
+        stats.accesses += 1
+        classifier = self.classifier
         hit = self.cache.access(line_addr)
-        if self.classifier is not None:
-            self.classifier.observe(line_addr, hit)
+        if classifier is not None:
+            classifier.observe(line_addr, hit)
         if hit:
-            self.augmentation.on_l1_hit(line_addr, now)
-            self.stats.record(AccessOutcome.HIT)
-            return AccessOutcome.HIT
-        lookup = self.augmentation.lookup_on_miss(line_addr, now)
+            if not self._aug_is_null:
+                self.augmentation.on_l1_hit(line_addr, now)
+            stats.hits += 1
+            return _HIT
+        if self._aug_is_null:
+            self.cache.fill(line_addr)
+            stats.misses_to_next_level += 1
+            return _MISS
+        augmentation = self.augmentation
+        lookup = augmentation.lookup_on_miss(line_addr, now)
         victim = self.cache.fill(line_addr)
-        self.augmentation.on_l1_fill(line_addr, victim, now)
-        outcome = lookup.outcome if lookup.satisfied else AccessOutcome.MISS
-        self.stats.record(outcome)
-        self.stats.stream_stall_cycles += lookup.stall_cycles
+        augmentation.on_l1_fill(line_addr, victim, now)
+        if lookup.stall_cycles:
+            stats.stream_stall_cycles += lookup.stall_cycles
+        if not lookup.satisfied:
+            stats.misses_to_next_level += 1
+            return _MISS
+        outcome = lookup.outcome
+        if outcome is _VICTIM_HIT:
+            stats.victim_hits += 1
+        elif outcome is _STREAM_HIT:
+            stats.stream_hits += 1
+        else:
+            stats.miss_cache_hits += 1
         return outcome
 
     def reset_stats(self) -> None:

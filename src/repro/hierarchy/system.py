@@ -24,18 +24,29 @@ from .level import CacheLevel, LevelStats
 __all__ = ["L2Stats", "SystemResult", "MemorySystem"]
 
 
-@dataclass
 class L2Stats:
     """Second-level cache counters, split demand vs. prefetch traffic."""
 
-    demand_accesses: int = 0
-    demand_misses: int = 0
-    prefetch_accesses: int = 0
-    prefetch_misses: int = 0
+    __slots__ = ("demand_accesses", "demand_misses", "prefetch_accesses", "prefetch_misses")
+
+    def __init__(self) -> None:
+        self.demand_accesses = 0
+        self.demand_misses = 0
+        self.prefetch_accesses = 0
+        self.prefetch_misses = 0
 
     @property
     def demand_miss_rate(self) -> float:
         return safe_div(self.demand_misses, self.demand_accesses)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, L2Stats):
+            return NotImplemented
+        return all(getattr(self, slot) == getattr(other, slot) for slot in self.__slots__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{slot}={getattr(self, slot)}" for slot in self.__slots__)
+        return f"L2Stats({fields})"
 
 
 @dataclass
@@ -100,6 +111,10 @@ class MemorySystem:
         # to the L2 *after* the demand fetch, matching the §4.1 order
         # (the demand line goes out first, prefetches stream behind it).
         self._pending_prefetches: list = []
+        # True only when at least one stream buffer was wired to the L2;
+        # lets the per-reference loop skip the pending-queue check for
+        # the (common) augmentation-free and non-prefetching systems.
+        self._has_prefetch_sinks = False
         if route_prefetches_through_l2:
             self._wire_prefetch_sinks(iaugmentation, self._ishift)
             self._wire_prefetch_sinks(daugmentation, self._dshift)
@@ -116,6 +131,7 @@ class MemorySystem:
         for buffer in self._stream_buffers(augmentation):
             if buffer.fetch_sink is None:
                 buffer.fetch_sink = sink
+                self._has_prefetch_sinks = True
 
     @staticmethod
     def _stream_buffers(augmentation: Optional[L1Augmentation]) -> Iterable[StreamBuffer]:
@@ -143,17 +159,61 @@ class MemorySystem:
             outcome = self.dlevel.access_line(byte_address >> self._dshift, self.instructions)
         if outcome is AccessOutcome.MISS:
             self._l2_demand(byte_address >> self._l2_shift)
-        if self._pending_prefetches:
+        if self._has_prefetch_sinks and self._pending_prefetches:
             for l2_line in self._pending_prefetches:
                 self._l2_prefetch(l2_line)
             self._pending_prefetches.clear()
         return outcome
 
     def run(self, trace: Iterable[Tuple[int, int]]) -> SystemResult:
-        """Run a whole trace of ``(kind, byte_address)`` pairs."""
-        access = self.access
-        for kind, byte_address in trace:
-            access(kind, byte_address)
+        """Run a whole trace of ``(kind, byte_address)`` pairs.
+
+        Semantically ``for pair in trace: self.access(*pair)``, but with
+        the per-reference work inlined and every attribute the loop needs
+        bound to a local: this loop is the simulator's hottest path, and
+        the L2 demand handling plus the level dispatch dominate the cost
+        of a full-system replay.
+        """
+        ilevel_access = self.ilevel.access_line
+        dlevel_access = self.dlevel.access_line
+        ishift = self._ishift
+        dshift = self._dshift
+        l2_shift = self._l2_shift
+        l2_access = self.l2.access
+        l2_fill = self.l2.fill
+        l2stats = self.l2stats
+        l2_prefetch = self._l2_prefetch
+        pending = self._pending_prefetches
+        has_sinks = self._has_prefetch_sinks
+        ifetch = int(AccessKind.IFETCH)
+        miss = AccessOutcome.MISS
+        instructions = self.instructions
+        data_references = self.data_references
+        demand_accesses = l2stats.demand_accesses
+        demand_misses = l2stats.demand_misses
+        try:
+            for kind, byte_address in trace:
+                if kind == ifetch:
+                    instructions += 1
+                    outcome = ilevel_access(byte_address >> ishift, instructions)
+                else:
+                    data_references += 1
+                    outcome = dlevel_access(byte_address >> dshift, instructions)
+                if outcome is miss:
+                    demand_accesses += 1
+                    l2_line = byte_address >> l2_shift
+                    if not l2_access(l2_line):
+                        demand_misses += 1
+                        l2_fill(l2_line)
+                if has_sinks and pending:
+                    for l2_line in pending:
+                        l2_prefetch(l2_line)
+                    pending.clear()
+        finally:
+            self.instructions = instructions
+            self.data_references = data_references
+            l2stats.demand_accesses = demand_accesses
+            l2stats.demand_misses = demand_misses
         return self.result()
 
     def result(self) -> SystemResult:

@@ -1,0 +1,211 @@
+"""Tests for the parallel experiment engine.
+
+The contract under test: a parallel run (``jobs > 1``) must be
+row-for-row and byte-for-byte identical to the serial run at the same
+seed, jobs must stay picklable, and anything the engine cannot describe
+must fall back to the serial path rather than fail or diverge.
+"""
+
+import pickle
+
+import pytest
+
+from repro.buffers.miss_cache import MissCache
+from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
+from repro.buffers.victim_cache import VictimCache
+from repro.caches.fully_associative import ReplacementPolicy
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.experiments.engine import (
+    EntrySweepJob,
+    ExperimentJob,
+    LevelJob,
+    RunSweepJob,
+    TraceKey,
+    build_structure,
+    default_jobs,
+    execute_job,
+    resolve_jobs,
+    run_experiments,
+    run_jobs,
+    spec_of,
+)
+from repro.experiments.grid import GridSpec, sweep_grid
+from repro.experiments.sweeps import (
+    batch_entry_sweeps,
+    batch_run_sweeps,
+    victim_cache_sweep,
+)
+from repro.experiments.workloads import materialized_trace, suite
+from repro.traces.trace import trace_from_pairs
+
+SCALE = 1_500
+CONFIG = CacheConfig(4096, 16)
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return suite(SCALE, 0)
+
+
+class TestTraceKey:
+    def test_of_registry_trace_roundtrips(self, tiny_suite):
+        for trace in tiny_suite:
+            key = TraceKey.of(trace)
+            assert key is not None
+            assert key.name == trace.name
+            assert key.trace().pairs == trace.pairs
+
+    def test_of_handmade_trace_is_none(self):
+        trace = trace_from_pairs("toy", [(0, 0), (1, 16)])
+        assert TraceKey.of(trace) is None
+
+    def test_memoized_per_process(self):
+        assert materialized_trace("ccom", SCALE, 0) is materialized_trace("ccom", SCALE, 0)
+
+
+class TestStructureSpecs:
+    @pytest.mark.parametrize("spec", ["none", "mc4", "vc4", "sb4", "sb4x4", None])
+    def test_roundtrip(self, spec):
+        structure = build_structure(spec)
+        expected = "none" if spec is None else spec
+        assert spec_of(structure) == expected
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ConfigurationError, match="structure spec"):
+            build_structure("warp9")
+
+    def test_non_default_structures_have_no_spec(self):
+        assert spec_of(MissCache(4, track_depths=True)) is None
+        assert spec_of(VictimCache(4, swap_on_hit=False)) is None
+        assert spec_of(VictimCache(4, policy=ReplacementPolicy.FIFO)) is None
+        assert spec_of(StreamBuffer(4, allocation_filter=True)) is None
+        assert spec_of(MultiWayStreamBuffer(4, 4, model_availability=True)) is None
+
+    def test_jobs_are_picklable(self):
+        key = TraceKey("ccom", SCALE, 0)
+        for job in (
+            LevelJob(key, "d", 4096, 16, "vc4"),
+            EntrySweepJob(key, "i", 4096, 16, "victim"),
+            RunSweepJob(key, "d", 4096, 16, ways=4),
+            ExperimentJob("figure_3_3", SCALE, 0),
+        ):
+            assert pickle.loads(pickle.dumps(job)) == job
+
+
+class TestJobsResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+        assert resolve_jobs(None) == 4
+        assert resolve_jobs(2) == 2  # explicit beats the environment
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS"):
+            default_jobs()
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+class TestLevelJobEquivalence:
+    def test_summary_matches_inline_run(self, tiny_suite):
+        from repro.experiments.runner import run_level
+
+        trace = tiny_suite[0]
+        job = LevelJob(TraceKey.of(trace), "d", 4096, 16, "vc4", classify=True)
+        summary = execute_job(job)
+        run = run_level(trace.stream("d"), CONFIG, VictimCache(4), classify=True)
+        assert summary.accesses == run.stats.accesses
+        assert summary.demand_misses == run.stats.demand_misses
+        assert summary.removed_misses == run.stats.removed_misses
+        assert summary.misses_to_next_level == run.stats.misses_to_next_level
+        assert summary.conflict_misses == run.conflicts
+
+    def test_run_jobs_parallel_order_and_values(self, tiny_suite):
+        jobs = [
+            LevelJob(TraceKey.of(trace), side, 4096, 16, structure)
+            for trace in tiny_suite[:3]
+            for side in ("i", "d")
+            for structure in ("none", "vc4")
+        ]
+        serial = run_jobs(jobs, jobs=1)
+        parallel = run_jobs(jobs, jobs=4)
+        assert serial == parallel
+
+
+class TestSweepGridDeterminism:
+    def test_parallel_grid_identical_to_serial(self, tiny_suite):
+        spec = GridSpec(cache_sizes_kb=[4, 8], line_sizes=[16, 32])
+        serial = sweep_grid(tiny_suite, spec, side="d", jobs=1)
+        parallel = sweep_grid(tiny_suite, spec, side="d", jobs=4)
+        assert serial.headers == parallel.headers
+        assert serial.rows == parallel.rows
+        assert serial.render() == parallel.render()
+
+    def test_handmade_traces_fall_back_to_serial(self):
+        pairs = [(0, 16 * i) for i in range(64)] + [(1, 4096 + 16 * i) for i in range(64)]
+        traces = [trace_from_pairs("toy", pairs)]
+        spec = GridSpec(cache_sizes_kb=[4], line_sizes=[16])
+        serial = sweep_grid(traces, spec, side="d", jobs=1)
+        parallel = sweep_grid(traces, spec, side="d", jobs=4)
+        assert serial.rows == parallel.rows
+
+    def test_undescribable_structure_falls_back(self, tiny_suite):
+        spec = GridSpec(
+            cache_sizes_kb=[4],
+            line_sizes=[16],
+            structures={"vc4-noswap": lambda: VictimCache(4, swap_on_hit=False)},
+        )
+        serial = sweep_grid(tiny_suite[:2], spec, side="d", jobs=1)
+        parallel = sweep_grid(tiny_suite[:2], spec, side="d", jobs=4)
+        assert serial.rows == parallel.rows
+
+
+class TestBatchSweeps:
+    def test_batch_entry_sweeps_match_loop(self, tiny_suite):
+        batch = batch_entry_sweeps(tiny_suite, CONFIG, kind="victim", jobs=4)
+        inline = [
+            victim_cache_sweep(trace.stream(side), CONFIG, 15)
+            for side in ("i", "d")
+            for trace in tiny_suite
+        ]
+        assert batch == inline
+
+    def test_batch_run_sweeps_serial_parallel_equal(self, tiny_suite):
+        serial = batch_run_sweeps(tiny_suite[:3], CONFIG, ways=4, jobs=1)
+        parallel = batch_run_sweeps(tiny_suite[:3], CONFIG, ways=4, jobs=4)
+        assert serial == parallel
+
+
+class TestExperimentDeterminism:
+    #: A table, a single-pass sweep figure, and a full-system experiment —
+    #: one of each major experiment shape.
+    NAMES = ["table_2_1", "figure_3_3", "figure_2_2"]
+
+    def test_parallel_experiments_render_identically(self):
+        serial = run_experiments(self.NAMES, scale=SCALE, jobs=1)
+        parallel = run_experiments(self.NAMES, scale=SCALE, jobs=4)
+        assert [o.name for o in parallel] == self.NAMES
+        for ser, par in zip(serial, parallel):
+            assert ser.result.render() == par.result.render()
+
+    def test_cli_jobs_flag_output_identical(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table_2_1", "--scale", "300", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(["table_2_1", "--scale", "300", "--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+
+        def strip_timing(text):
+            return [line for line in text.splitlines() if not line.startswith("[")]
+
+        assert strip_timing(parallel_out) == strip_timing(serial_out)
