@@ -1,0 +1,32 @@
+"""Microbenchmarks: cost of the telemetry layer.
+
+Not a paper artifact — these pin the ISSUE 2 acceptance criterion that
+telemetry is (near) free when disabled: the flag is read once per run,
+never per simulated reference, so a full-system run with no active
+scope should be indistinguishable from the pre-telemetry simulator,
+and an active scope should add only one snapshot per run.
+"""
+
+from repro.hierarchy.system import MemorySystem
+from repro.telemetry import scoped
+
+
+def test_system_run_telemetry_disabled(benchmark, suite):
+    """Baseline: full-system run with no active scope (the default)."""
+    trace = suite[0]  # ccom
+
+    def run():
+        MemorySystem().run(trace)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_system_run_telemetry_enabled(benchmark, suite):
+    """Same run under an active scope: one counter snapshot per run."""
+    trace = suite[0]
+
+    def run():
+        with scoped():
+            MemorySystem().run(trace)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

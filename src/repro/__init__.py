@@ -64,6 +64,7 @@ from .hierarchy import (
     SystemResult,
     evaluate_performance,
 )
+from . import telemetry
 from .traces import (
     BENCHMARK_NAMES,
     CustomWorkload,
@@ -117,6 +118,8 @@ __all__ = [
     "SystemResult",
     "SystemPerformance",
     "evaluate_performance",
+    # telemetry
+    "telemetry",
     # traces
     "CustomWorkload",
     "Trace",

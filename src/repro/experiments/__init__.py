@@ -59,6 +59,7 @@ from .engine import (
     run_experiments,
     run_jobs,
     spec_of,
+    validate_jobs,
 )
 from .grid import GridSpec, default_structures, sweep_grid
 from .timeseries import miss_rate_series, removal_rate_series

@@ -7,13 +7,21 @@ Usage::
     repro-experiments --list             # list experiment ids
     repro-experiments --scale 30000      # smaller/larger traces
     repro-experiments --jobs 4           # fan experiments over 4 workers
+    repro-experiments --jobs 4 --progress --emit-metrics runs.jsonl
 
 The scale flag (or the REPRO_SCALE environment variable) sets the
 instruction count per unit of Table 2-1 relative trace length.  The
 jobs flag (or REPRO_JOBS) sets the worker-process count; the default of
 1 runs everything serially in this process, and any higher count
 produces identical rendered output in whatever order the experiments
-were selected.
+were selected.  ``--jobs 0`` (or a malformed ``REPRO_JOBS``) is
+rejected with a clear error instead of being silently clamped.
+
+``--emit-metrics PATH`` appends one JSON Lines run record per executed
+experiment (see :mod:`repro.telemetry.record` for the schema): wall
+time, references/sec, aggregated L1/L2 counters (serial runs), and the
+engine's job batches and serial-fallback reasons.  ``--progress``
+prints parallel-engine heartbeats to stderr.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ import sys
 import time
 from typing import List, Optional
 
+from ..common.config import baseline_system
+from ..common.errors import ConfigurationError
+from ..telemetry import core as telemetry
+from ..telemetry.record import append_record, build_run_record
 from . import ALL_EXPERIMENTS
 from .base import FigureResult
 from .plotting import plot_figure
@@ -70,6 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Markdown report of the selected experiments to FILE",
     )
+    parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="append one JSON Lines run record per executed experiment to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print parallel-engine heartbeat lines to stderr",
+    )
     return parser
 
 
@@ -91,9 +114,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("use --list to see available ids", file=sys.stderr)
         return 2
-    from .engine import resolve_jobs, run_experiments
+    from .engine import run_experiments, validate_jobs
 
-    jobs = resolve_jobs(args.jobs)
+    try:
+        jobs = validate_jobs(args.jobs)
+    except ConfigurationError as exc:
+        print(f"repro-experiments: {exc}", file=sys.stderr)
+        return 2
     if args.report:
         # Reports render from one shared suite; keep them serial.
         from .report import write_report
@@ -107,19 +134,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(f"wrote report to {path}")
         return 0
+    emit = args.emit_metrics
+    progress = _heartbeat_printer if args.progress else None
     if jobs > 1:
         # Fan out over the engine; outcomes come back in selection order
-        # with per-experiment wall time measured inside the worker.
-        for outcome in run_experiments(selected, scale=args.scale, seed=args.seed, jobs=jobs):
+        # with per-experiment wall time measured inside the worker.  One
+        # telemetry scope covers the whole batch: the simulations run in
+        # workers, so the records carry timing plus the shared engine
+        # section (job batches, serial-fallback reasons), not counters.
+        scope = telemetry.activate() if emit else None
+        try:
+            outcomes = run_experiments(
+                selected, scale=args.scale, seed=args.seed, jobs=jobs, progress=progress
+            )
+        finally:
+            if scope is not None:
+                telemetry.deactivate()
+        for outcome in outcomes:
             _print_result(outcome.name, outcome.result, outcome.elapsed, args.plot)
+            if scope is not None:
+                _emit_record(emit, scope, outcome.name, outcome.elapsed, jobs, args)
         return 0
     # Materialize the shared suite once so per-experiment times are honest.
     traces = suite(args.scale, args.seed)
     for name in selected:
         started = time.time()
-        result = ALL_EXPERIMENTS[name](traces=traces, scale=args.scale, seed=args.seed)
-        _print_result(name, result, time.time() - started, args.plot)
+        # One scope per experiment: serial runs report their simulation
+        # counters into it, so each record is self-contained.
+        scope = telemetry.activate() if emit else None
+        try:
+            result = ALL_EXPERIMENTS[name](traces=traces, scale=args.scale, seed=args.seed)
+        finally:
+            if scope is not None:
+                telemetry.deactivate()
+        elapsed = time.time() - started
+        _print_result(name, result, elapsed, args.plot)
+        if scope is not None:
+            _emit_record(emit, scope, name, elapsed, jobs, args)
     return 0
+
+
+def _heartbeat_printer(update) -> None:
+    print(f"[engine] {update}", file=sys.stderr, flush=True)
+
+
+def _emit_record(path: str, scope, name: str, elapsed: float, jobs: int, args) -> None:
+    record = build_run_record(
+        scope,
+        run=name,
+        config=baseline_system(),
+        wall_time_s=elapsed,
+        jobs=jobs,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    append_record(path, record)
 
 
 def _print_result(name: str, result, elapsed: float, plot: bool) -> None:

@@ -46,7 +46,7 @@ from __future__ import annotations
 import os
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -58,6 +58,8 @@ from ..caches.fully_associative import ReplacementPolicy
 from ..common.config import CacheConfig
 from ..common.errors import ConfigurationError, UnknownWorkloadError
 from ..common.stats import percent, safe_div
+from ..telemetry.core import JobProgress, ProgressCallback
+from ..telemetry.core import current as _telemetry_scope
 from ..traces.registry import get_workload
 from .base import FigureResult, TableResult
 from .runner import run_level
@@ -82,6 +84,7 @@ __all__ = [
     "spec_of",
     "default_jobs",
     "resolve_jobs",
+    "validate_jobs",
     "execute_job",
     "run_jobs",
     "run_experiments",
@@ -356,6 +359,22 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return default_jobs() if jobs is None else max(1, jobs)
 
 
+def validate_jobs(jobs: Optional[int]) -> int:
+    """CLI-boundary job-count validation.
+
+    Library callers go through :func:`resolve_jobs`, which clamps
+    nonsense to 1 so programmatic sweeps never explode; user-typed input
+    deserves a loud error instead of a silently ignored flag.  Raises
+    :class:`ConfigurationError` for ``jobs < 1`` and (via
+    :func:`default_jobs`) for a malformed ``REPRO_JOBS`` value.
+    """
+    if jobs is None:
+        return default_jobs()
+    if jobs < 1:
+        raise ConfigurationError(f"--jobs must be at least 1, got {jobs}")
+    return jobs
+
+
 def _warm_worker(trace_keys: Tuple[TraceKey, ...]) -> None:
     """Worker initializer: materialize each distinct trace exactly once.
 
@@ -375,23 +394,72 @@ def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceKey, ...]:
     return tuple(seen)
 
 
-def run_jobs(job_list: Sequence[Job], jobs: Optional[int] = None) -> List:
+def _batch_kind(job_list: Sequence[Job]) -> str:
+    kinds = {type(job).__name__ for job in job_list}
+    return kinds.pop() if len(kinds) == 1 else "mixed"
+
+
+def _collect(
+    futures: Sequence[Future],
+    progress: Optional[ProgressCallback],
+    heartbeat: float,
+) -> List:
+    """Future results in submission order, with periodic progress reports.
+
+    *progress* is called whenever the completed-job count changes and at
+    least every *heartbeat* seconds while the pool is still working, so
+    a long fan-out is never silent.  With no callback this is just an
+    ordered drain.
+    """
+    if progress is None:
+        return [future.result() for future in futures]
+    total = len(futures)
+    started = time.perf_counter()
+    pending = set(futures)
+    reported = -1
+    while pending:
+        done, pending = wait(pending, timeout=heartbeat)
+        finished = total - len(pending)
+        if finished != reported or not done:
+            progress(JobProgress(finished, total, time.perf_counter() - started))
+            reported = finished
+    return [future.result() for future in futures]
+
+
+def run_jobs(
+    job_list: Sequence[Job],
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    heartbeat: float = 5.0,
+) -> List:
     """Execute jobs, returning results in submission order.
 
     ``jobs=1`` (or ``REPRO_JOBS`` unset) runs everything inline; with
     more workers the jobs fan out over a process pool whose workers each
-    cache the traces they need.
+    cache the traces they need.  *progress* (parallel runs only)
+    receives a :class:`~repro.telemetry.core.JobProgress` heartbeat at
+    least every *heartbeat* seconds.  When a telemetry scope is active,
+    the batch's job count, worker count, and wall time are recorded.
     """
     job_list = list(job_list)
     workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
+    scope = _telemetry_scope()
+    started = time.perf_counter() if scope is not None else 0.0
     if workers <= 1:
-        return [execute_job(job) for job in job_list]
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_warm_worker,
-        initargs=(_distinct_trace_keys(job_list),),
-    ) as pool:
-        return list(pool.map(execute_job, job_list))
+        results = [execute_job(job) for job in job_list]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(_distinct_trace_keys(job_list),),
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in job_list]
+            results = _collect(futures, progress, heartbeat)
+    if scope is not None and job_list:
+        scope.record_job_batch(
+            _batch_kind(job_list), len(job_list), workers, time.perf_counter() - started
+        )
+    return results
 
 
 def run_experiments(
@@ -399,25 +467,38 @@ def run_experiments(
     scale: Optional[int] = None,
     seed: int = 0,
     jobs: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+    heartbeat: float = 5.0,
 ) -> List[ExperimentOutcome]:
     """Run whole experiment modules, optionally in parallel.
 
     Results come back in the order of *names* regardless of which worker
     finished first, so the rendered output of a parallel run is
-    identical to the serial one.
+    identical to the serial one.  *progress* behaves as in
+    :func:`run_jobs`: a heartbeat per completion change and at least
+    every *heartbeat* seconds of pool time.
     """
     job_list = [ExperimentJob(name, scale, seed) for name in names]
     workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
+    scope = _telemetry_scope()
+    started = time.perf_counter() if scope is not None else 0.0
     if workers <= 1:
-        return [execute_job(job) for job in job_list]
-    # Build the suite once in the parent before forking: fork-based
-    # platforms then share the materialized traces copy-on-write, and
-    # spawn-based ones rebuild them once per worker via the initializer.
-    suite(scale, seed)
-    suite_keys = tuple(TraceKey(name, scale, seed) for name in BENCHMARK_NAMES)
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_warm_worker,
-        initargs=(suite_keys,),
-    ) as pool:
-        return list(pool.map(execute_job, job_list))
+        outcomes = [execute_job(job) for job in job_list]
+    else:
+        # Build the suite once in the parent before forking: fork-based
+        # platforms then share the materialized traces copy-on-write, and
+        # spawn-based ones rebuild them once per worker via the initializer.
+        suite(scale, seed)
+        suite_keys = tuple(TraceKey(name, scale, seed) for name in BENCHMARK_NAMES)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(suite_keys,),
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in job_list]
+            outcomes = _collect(futures, progress, heartbeat)
+    if scope is not None and job_list:
+        scope.record_job_batch(
+            "ExperimentJob", len(job_list), workers, time.perf_counter() - started
+        )
+    return outcomes

@@ -73,17 +73,32 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
     needs a registry rebuild recipe (:meth:`TraceKey.of`) and each
     structure factory must produce a spec-describable structure
     (:func:`spec_of`).  Anything else — hand-built traces, ablation
-    structures with exotic options — falls back to the serial path.
+    structures with exotic options — falls back to the serial path,
+    surfaced as a :class:`~repro.telemetry.core.ParallelFallbackWarning`
+    plus a ``fallback_reason`` entry on the active telemetry scope.
     """
+    from ..telemetry.core import record_fallback
     from .engine import LevelJob, TraceKey, run_jobs, spec_of
 
     trace_keys = [TraceKey.of(trace) for trace in traces]
     if any(key is None for key in trace_keys):
+        unkeyed = [trace.name for trace, key in zip(traces, trace_keys) if key is None]
+        record_fallback(
+            "sweep_grid",
+            f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
+            stacklevel=4,
+        )
         return None
     structure_specs = {}
     for label, factory in spec.structures.items():
         structure_specs[label] = spec_of(factory() if factory is not None else None)
         if structure_specs[label] is None:
+            record_fallback(
+                "sweep_grid",
+                f"structure {label!r} carries non-default options the engine "
+                "cannot describe as a job spec",
+                stacklevel=4,
+            )
             return None
     job_list = []
     points = []

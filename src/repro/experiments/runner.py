@@ -9,12 +9,14 @@ full-system experiments (Figures 2-2 and 5-1) use :func:`run_system`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Optional, Sequence
 
 from ..buffers.base import L1Augmentation
 from ..common.config import CacheConfig, SystemConfig
 from ..hierarchy.level import CacheLevel
 from ..hierarchy.system import MemorySystem, SystemResult
+from ..telemetry.core import current as _telemetry_scope
 from ..traces.trace import MaterializedTrace
 
 __all__ = ["LevelRun", "run_level", "run_system", "baseline_conflicts"]
@@ -72,6 +74,9 @@ def run_level(
     level = CacheLevel(config, augmentation, classify)
     shift = config.offset_bits
     access = level.access_line
+    # Telemetry costs one global read per replay, nothing per reference.
+    scope = _telemetry_scope()
+    started = perf_counter() if scope is not None else 0.0
     if warmup:
         now = 0
         for address in byte_addresses:
@@ -84,6 +89,8 @@ def run_level(
         # with nothing in it but the access itself.
         for now, address in enumerate(byte_addresses):
             access(address >> shift, now)
+    if scope is not None:
+        scope.observe_level_run(level.stats, perf_counter() - started)
     return LevelRun(level)
 
 

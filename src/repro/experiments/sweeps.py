@@ -164,7 +164,10 @@ def batch_entry_sweeps(
 
     Results are ordered ``for side in sides: for trace in traces`` —
     the iteration order of Figures 3-3/3-5.  Traces without a registry
-    rebuild recipe run serially in the calling process.
+    rebuild recipe run serially in the calling process; when that
+    overrides a ``jobs > 1`` request the fallback is surfaced with a
+    :class:`~repro.telemetry.core.ParallelFallbackWarning` and recorded
+    on the active telemetry scope.
     """
     from .engine import EntrySweepJob, TraceKey, resolve_jobs, run_jobs
 
@@ -172,20 +175,34 @@ def batch_entry_sweeps(
     pairs = [(side, trace) for side in sides for trace in traces]
     keys = {id(trace): TraceKey.of(trace) for trace in traces}
     sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}[kind]
-    if resolve_jobs(jobs) > 1 and all(key is not None for key in keys.values()):
-        job_list = [
-            EntrySweepJob(
-                trace=keys[id(trace)],
-                side=side,
-                size_bytes=config.size_bytes,
-                line_size=config.line_size,
-                kind=kind,
-                max_entries=max_entries,
-            )
-            for side, trace in pairs
-        ]
-        return run_jobs(job_list, jobs=jobs)
+    if resolve_jobs(jobs) > 1:
+        if all(key is not None for key in keys.values()):
+            job_list = [
+                EntrySweepJob(
+                    trace=keys[id(trace)],
+                    side=side,
+                    size_bytes=config.size_bytes,
+                    line_size=config.line_size,
+                    kind=kind,
+                    max_entries=max_entries,
+                )
+                for side, trace in pairs
+            ]
+            return run_jobs(job_list, jobs=jobs)
+        _note_fallback("batch_entry_sweeps", traces, keys)
     return [sweep_fn(trace.stream(side), config, max_entries) for side, trace in pairs]
+
+
+def _note_fallback(component: str, traces, keys) -> None:
+    """Warn + record that a parallel batch degraded to serial execution."""
+    from ..telemetry.core import record_fallback
+
+    unkeyed = [trace.name for trace in traces if keys[id(trace)] is None]
+    record_fallback(
+        component,
+        f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
+        stacklevel=4,
+    )
 
 
 def batch_run_sweeps(
@@ -197,26 +214,31 @@ def batch_run_sweeps(
     max_run: int = 16,
     jobs=None,
 ) -> List[RunLengthSweep]:
-    """Stream-buffer run sweeps for every (side, trace) pair, nested order."""
+    """Stream-buffer run sweeps for every (side, trace) pair, nested order.
+
+    Serial-fallback semantics match :func:`batch_entry_sweeps`.
+    """
     from .engine import RunSweepJob, TraceKey, resolve_jobs, run_jobs
 
     traces = list(traces)
     pairs = [(side, trace) for side in sides for trace in traces]
     keys = {id(trace): TraceKey.of(trace) for trace in traces}
-    if resolve_jobs(jobs) > 1 and all(key is not None for key in keys.values()):
-        job_list = [
-            RunSweepJob(
-                trace=keys[id(trace)],
-                side=side,
-                size_bytes=config.size_bytes,
-                line_size=config.line_size,
-                ways=ways,
-                entries=entries,
-                max_run=max_run,
-            )
-            for side, trace in pairs
-        ]
-        return run_jobs(job_list, jobs=jobs)
+    if resolve_jobs(jobs) > 1:
+        if all(key is not None for key in keys.values()):
+            job_list = [
+                RunSweepJob(
+                    trace=keys[id(trace)],
+                    side=side,
+                    size_bytes=config.size_bytes,
+                    line_size=config.line_size,
+                    ways=ways,
+                    entries=entries,
+                    max_run=max_run,
+                )
+                for side, trace in pairs
+            ]
+            return run_jobs(job_list, jobs=jobs)
+        _note_fallback("batch_run_sweeps", traces, keys)
     return [
         stream_buffer_run_sweep(
             trace.stream(side), config, ways=ways, entries=entries, max_run=max_run

@@ -106,10 +106,31 @@ class LevelStats:
         else:  # pragma: no cover - enum is closed
             raise ValueError(f"unknown outcome {outcome!r}")
 
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-int snapshot of every counter (plus derived demand misses).
+
+        The shape telemetry run records and external consumers see; keys
+        are the slot names plus ``demand_misses``.
+        """
+        snapshot = {slot: getattr(self, slot) for slot in self.__slots__}
+        snapshot["demand_misses"] = self.demand_misses
+        return snapshot
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, LevelStats):
             return NotImplemented
         return all(getattr(self, slot) == getattr(other, slot) for slot in self.__slots__)
+
+    def __hash__(self) -> int:
+        """Value hash consistent with ``__eq__``.
+
+        Defining ``__eq__`` alone sets ``__hash__`` to None, which made
+        instances unhashable and broke set/dict membership of result
+        summaries.  The hash is value-based over mutable counters — as
+        with any mutable value type, do not mutate an instance while a
+        hash-based container holds it.
+        """
+        return hash(tuple(getattr(self, slot) for slot in self.__slots__))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{slot}={getattr(self, slot)}" for slot in self.__slots__)

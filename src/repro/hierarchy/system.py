@@ -11,7 +11,8 @@ traffic rides the pipelined interface the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..buffers.base import CompositeAugmentation, L1Augmentation
 from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
@@ -19,6 +20,7 @@ from ..caches.direct_mapped import DirectMappedCache
 from ..common.config import SystemConfig, baseline_system
 from ..common.stats import safe_div
 from ..common.types import AccessKind, AccessOutcome
+from ..telemetry.core import current as _telemetry_scope
 from .level import CacheLevel, LevelStats
 
 __all__ = ["L2Stats", "SystemResult", "MemorySystem"]
@@ -39,10 +41,25 @@ class L2Stats:
     def demand_miss_rate(self) -> float:
         return safe_div(self.demand_misses, self.demand_accesses)
 
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-int snapshot of every counter (telemetry record shape)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, L2Stats):
             return NotImplemented
         return all(getattr(self, slot) == getattr(other, slot) for slot in self.__slots__)
+
+    def __hash__(self) -> int:
+        """Value hash consistent with ``__eq__``.
+
+        Defining ``__eq__`` alone sets ``__hash__`` to None, which made
+        instances unhashable and broke set/dict membership of result
+        summaries.  The hash is value-based over mutable counters — as
+        with any mutable value type, do not mutate an instance while a
+        hash-based container holds it.
+        """
+        return hash(tuple(getattr(self, slot) for slot in self.__slots__))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         fields = ", ".join(f"{slot}={getattr(self, slot)}" for slot in self.__slots__)
@@ -173,7 +190,14 @@ class MemorySystem:
         bound to a local: this loop is the simulator's hottest path, and
         the L2 demand handling plus the level dispatch dominate the cost
         of a full-system replay.
+
+        When a telemetry scope is active
+        (:func:`repro.telemetry.core.activate`) the run reports its wall
+        time and counters to it; the disabled path costs one global read
+        per *run*, never anything per reference.
         """
+        scope = _telemetry_scope()
+        started = perf_counter() if scope is not None else 0.0
         ilevel_access = self.ilevel.access_line
         dlevel_access = self.dlevel.access_line
         ishift = self._ishift
@@ -214,7 +238,10 @@ class MemorySystem:
             self.data_references = data_references
             l2stats.demand_accesses = demand_accesses
             l2stats.demand_misses = demand_misses
-        return self.result()
+        result = self.result()
+        if scope is not None:
+            scope.observe_system_run(result, perf_counter() - started)
+        return result
 
     def result(self) -> SystemResult:
         return SystemResult(

@@ -1,0 +1,145 @@
+"""Benchmark regression comparison against a committed baseline.
+
+``BENCH_core.json`` (pytest-benchmark's ``--benchmark-json`` output for
+the core-throughput microbenchmarks) is committed at the repo root as
+the performance baseline.  :func:`diff_benchmarks` compares a freshly
+generated file against it benchmark-by-benchmark and flags every one
+whose timing grew by more than a configurable tolerance — the CI gate
+that turns "the simulator got slower" from an artifact someone might
+inspect into a red build.
+
+Semantics:
+
+* Benchmarks are matched by ``name``; comparison uses one statistic of
+  pytest-benchmark's ``stats`` block (``mean`` by default — ``min`` is
+  less noisy on quiet machines, ``median`` a compromise).
+* A benchmark *regresses* when ``current > baseline * (1 + tolerance)``;
+  lower is always better (timings in seconds).
+* Benchmarks present on only one side never fail the diff — they are
+  reported so a renamed benchmark is visible, but a regression gate
+  should not block adding benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = [
+    "BenchDelta",
+    "BenchDiff",
+    "load_benchmark_stats",
+    "diff_benchmarks",
+    "SUPPORTED_METRICS",
+]
+
+SUPPORTED_METRICS = ("mean", "median", "min", "max")
+
+
+def load_benchmark_stats(path: str, metric: str = "mean") -> Dict[str, float]:
+    """``{benchmark name: metric seconds}`` from a pytest-benchmark JSON file."""
+    if metric not in SUPPORTED_METRICS:
+        raise ValueError(f"unsupported metric {metric!r}; expected one of {SUPPORTED_METRICS}")
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, Mapping) or "benchmarks" not in payload:
+        raise ValueError(f"{path}: not a pytest-benchmark JSON file (no 'benchmarks' key)")
+    stats: Dict[str, float] = {}
+    for bench in payload["benchmarks"]:
+        name = bench.get("name")
+        value = bench.get("stats", {}).get(metric)
+        if name is None or not isinstance(value, (int, float)):
+            raise ValueError(f"{path}: benchmark entry without name/stats.{metric}: {bench!r}")
+        stats[name] = float(value)
+    return stats
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark's baseline-vs-current comparison."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline; > 1.0 means slower than the baseline."""
+        if self.baseline == 0.0:
+            return float("inf") if self.current > 0.0 else 1.0
+        return self.current / self.baseline
+
+    @property
+    def percent_change(self) -> float:
+        return 100.0 * (self.ratio - 1.0)
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.current > self.baseline * (1.0 + tolerance)
+
+
+@dataclass
+class BenchDiff:
+    """Full result of one baseline-vs-current comparison."""
+
+    metric: str
+    tolerance: float
+    deltas: List[BenchDelta]
+    #: In the baseline but not the current file (renamed/removed).
+    missing: Sequence[str]
+    #: In the current file but not the baseline (new benchmarks).
+    added: Sequence[str]
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [delta for delta in self.deltas if delta.regressed(self.tolerance)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable comparison table, worst ratio first."""
+        lines = [
+            f"benchmark {self.metric} vs. baseline "
+            f"(tolerance {self.tolerance:.0%}, {len(self.deltas)} compared)"
+        ]
+        width = max((len(d.name) for d in self.deltas), default=4)
+        for delta in sorted(self.deltas, key=lambda d: d.ratio, reverse=True):
+            flag = "REGRESSED" if delta.regressed(self.tolerance) else "ok"
+            lines.append(
+                f"  {delta.name:<{width}}  {delta.baseline:>12.6f}s -> "
+                f"{delta.current:>12.6f}s  {delta.percent_change:+7.1f}%  {flag}"
+            )
+        for name in self.missing:
+            lines.append(f"  {name:<{width}}  missing from current run (baseline only)")
+        for name in self.added:
+            lines.append(f"  {name:<{width}}  new benchmark (no baseline)")
+        lines.append(
+            f"{len(self.regressions)} regression(s) beyond tolerance"
+            if self.regressions
+            else "no regressions beyond tolerance"
+        )
+        return "\n".join(lines)
+
+
+def diff_benchmarks(
+    baseline_path: str,
+    current_path: str,
+    tolerance: float = 0.25,
+    metric: str = "mean",
+) -> BenchDiff:
+    """Compare two pytest-benchmark JSON files; see the module docstring."""
+    if tolerance < 0.0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+    baseline = load_benchmark_stats(baseline_path, metric)
+    current = load_benchmark_stats(current_path, metric)
+    shared = [name for name in baseline if name in current]
+    deltas = [BenchDelta(name, baseline[name], current[name]) for name in shared]
+    return BenchDiff(
+        metric=metric,
+        tolerance=tolerance,
+        deltas=deltas,
+        missing=[name for name in baseline if name not in current],
+        added=[name for name in current if name not in baseline],
+    )

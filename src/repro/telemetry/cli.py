@@ -1,0 +1,72 @@
+"""Command-line entry point for benchmark regression checks.
+
+Usage::
+
+    repro-bench diff FRESH.json                       # vs. BENCH_core.json
+    repro-bench diff FRESH.json --baseline OLD.json --tolerance 0.25
+    repro-bench diff FRESH.json --metric min
+
+``diff`` exits 0 when every shared benchmark is within tolerance, 1 when
+at least one regressed, and 2 on usage or file errors — so it slots
+directly into CI after a ``pytest --benchmark-json=FRESH.json`` run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import SUPPORTED_METRICS, diff_benchmarks
+
+DEFAULT_BASELINE = "BENCH_core.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark telemetry tools for the repro package.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    diff = sub.add_parser(
+        "diff",
+        help="compare a fresh pytest-benchmark JSON against the committed baseline",
+    )
+    diff.add_argument("current", metavar="CURRENT_JSON", help="freshly generated benchmark JSON")
+    diff.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="BASELINE_JSON",
+        help=f"baseline benchmark JSON (default: {DEFAULT_BASELINE})",
+    )
+    diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before a benchmark counts as "
+        "regressed (default: 0.25 = 25%%)",
+    )
+    diff.add_argument(
+        "--metric",
+        choices=SUPPORTED_METRICS,
+        default="mean",
+        help="which stats field to compare (default: mean)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        diff = diff_benchmarks(
+            args.baseline, args.current, tolerance=args.tolerance, metric=args.metric
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro-bench: {exc}", file=sys.stderr)
+        return 2
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""Lightweight run telemetry: counters, timers, and an active scope.
+
+Observability for the simulator follows the same wiring-time pattern as
+``MemorySystem._has_prefetch_sinks``: instrumented code checks *once per
+run* (never per simulated reference) whether a :class:`MetricsScope` is
+active, and does nothing at all when none is.  A scope is activated for
+the duration of one logical run — one experiment, one CLI invocation —
+and collects:
+
+* **counters** and **timers** (:class:`Counter`, :class:`Timer`) bumped
+  by instrumented call sites;
+* **simulation observations** — every :meth:`MemorySystem.run
+  <repro.hierarchy.system.MemorySystem.run>` and
+  :func:`~repro.experiments.runner.run_level` executed while the scope
+  is active reports its counters and wall time;
+* **engine events** — parallel job-batch statistics and, crucially, the
+  reasons a requested parallel run *fell back to serial*
+  (:func:`record_fallback`), which previously vanished silently.
+
+Fallback surfacing is independent of telemetry being enabled: the
+warning (:class:`ParallelFallbackWarning`) always fires so an ignored
+``--jobs`` flag is visible even without ``--emit-metrics``; the scope
+additionally records the reason for the run record when active.
+
+Thread-safety: scopes are process-local and activation is not
+re-entrant by design — one logical run per process at a time, matching
+how the CLI and the experiment modules use it.  Worker processes of the
+parallel engine never inherit an active scope (it is not picklable
+state), so simulations running inside workers report into the engine's
+job statistics instead.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "FallbackEvent",
+    "JobBatchStats",
+    "JobProgress",
+    "MetricsScope",
+    "ParallelFallbackWarning",
+    "activate",
+    "deactivate",
+    "current",
+    "enabled",
+    "scoped",
+    "record_fallback",
+]
+
+
+class ParallelFallbackWarning(UserWarning):
+    """A run that requested ``jobs > 1`` silently executed serially."""
+
+
+class Counter:
+    """A named monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Timer:
+    """A named accumulating wall-clock timer (context manager).
+
+    ::
+
+        with scope.timer("materialize"):
+            ...
+
+    Accumulates across uses, so one timer can cover a loop body.
+    """
+
+    __slots__ = ("name", "elapsed", "calls", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.calls = 0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._started is not None
+        self.elapsed += time.perf_counter() - self._started
+        self.calls += 1
+        self._started = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.name}={self.elapsed:.6f}s/{self.calls})"
+
+
+class FallbackEvent:
+    """One serial fallback of a run that requested parallel execution."""
+
+    __slots__ = ("component", "reason")
+
+    def __init__(self, component: str, reason: str) -> None:
+        self.component = component
+        self.reason = reason
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"component": self.component, "reason": self.reason}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FallbackEvent({self.component}: {self.reason})"
+
+
+class JobBatchStats:
+    """Statistics of one parallel-engine batch (``run_jobs`` call)."""
+
+    __slots__ = ("kind", "n_jobs", "workers", "elapsed")
+
+    def __init__(self, kind: str, n_jobs: int, workers: int, elapsed: float) -> None:
+        self.kind = kind
+        self.n_jobs = n_jobs
+        self.workers = workers
+        self.elapsed = elapsed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "n_jobs": self.n_jobs,
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed, 6),
+        }
+
+
+class JobProgress:
+    """One heartbeat of a running parallel batch (for progress callbacks)."""
+
+    __slots__ = ("done", "total", "elapsed")
+
+    def __init__(self, done: int, total: int, elapsed: float) -> None:
+        self.done = done
+        self.total = total
+        self.elapsed = elapsed
+
+    def __str__(self) -> str:
+        return f"{self.done}/{self.total} jobs done after {self.elapsed:.1f}s"
+
+
+ProgressCallback = Callable[[JobProgress], None]
+
+
+class MetricsScope:
+    """Collector for one logical run.
+
+    Everything is plain mutable state; the scope is read once at the end
+    of the run (``repro.telemetry.record.build_run_record``) and then
+    discarded.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.timers: Dict[str, Timer] = {}
+        self.fallbacks: List[FallbackEvent] = []
+        self.job_batches: List[JobBatchStats] = []
+        # Aggregated simulation observations.
+        self.sim_wall_time = 0.0
+        self.system_runs = 0
+        self.level_runs = 0
+        self.references = 0
+        self.l1i: Dict[str, int] = {}
+        self.l1d: Dict[str, int] = {}
+        self.l2: Dict[str, int] = {}
+        self.level: Dict[str, int] = {}
+
+    # -- counters/timers ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Timer(name)
+        return timer
+
+    # -- engine events --------------------------------------------------------
+
+    def record_fallback(self, component: str, reason: str) -> None:
+        self.fallbacks.append(FallbackEvent(component, reason))
+
+    def record_job_batch(self, kind: str, n_jobs: int, workers: int, elapsed: float) -> None:
+        self.job_batches.append(JobBatchStats(kind, n_jobs, workers, elapsed))
+
+    # -- simulation observations ----------------------------------------------
+
+    @staticmethod
+    def _merge(into: Dict[str, int], counters: Dict[str, int]) -> None:
+        for key, value in counters.items():
+            into[key] = into.get(key, 0) + value
+
+    def observe_system_run(self, result, elapsed: float) -> None:
+        """Aggregate one :class:`~repro.hierarchy.system.SystemResult`."""
+        self.system_runs += 1
+        self.sim_wall_time += elapsed
+        self.references += result.total_references
+        self._merge(self.l1i, result.istats.as_dict())
+        self._merge(self.l1d, result.dstats.as_dict())
+        self._merge(self.l2, result.l2stats.as_dict())
+
+    def observe_level_run(self, stats, elapsed: float) -> None:
+        """Aggregate one single-level replay's :class:`LevelStats`."""
+        self.level_runs += 1
+        self.sim_wall_time += elapsed
+        self.references += stats.accesses
+        self._merge(self.level, stats.as_dict())
+
+    @property
+    def references_per_sec(self) -> float:
+        if self.sim_wall_time <= 0.0:
+            return 0.0
+        return self.references / self.sim_wall_time
+
+
+# -- the active scope ---------------------------------------------------------
+
+_SCOPE: Optional[MetricsScope] = None
+
+
+def current() -> Optional[MetricsScope]:
+    """The active scope, or None when telemetry is disabled (the default)."""
+    return _SCOPE
+
+
+def enabled() -> bool:
+    return _SCOPE is not None
+
+
+def activate(scope: Optional[MetricsScope] = None) -> MetricsScope:
+    """Make *scope* (or a fresh one) the active collector."""
+    global _SCOPE
+    scope = scope if scope is not None else MetricsScope()
+    _SCOPE = scope
+    return scope
+
+
+def deactivate() -> None:
+    global _SCOPE
+    _SCOPE = None
+
+
+class scoped:
+    """Context manager: activate a fresh scope for one logical run.
+
+    ::
+
+        with telemetry.scoped() as scope:
+            run_experiment(...)
+        record = build_run_record(scope, ...)
+    """
+
+    def __init__(self) -> None:
+        self.scope = MetricsScope()
+
+    def __enter__(self) -> MetricsScope:
+        activate(self.scope)
+        return self.scope
+
+    def __exit__(self, *exc_info) -> None:
+        deactivate()
+
+
+def record_fallback(component: str, reason: str, stacklevel: int = 3) -> None:
+    """Surface one serial fallback: warn always, record when a scope is active.
+
+    Called by the parallel engine's entry points when a run that asked
+    for ``jobs > 1`` cannot be expressed as picklable jobs and silently
+    degrading to serial execution would otherwise hide the ignored flag.
+    """
+    warnings.warn(
+        f"{component}: requested parallel execution fell back to serial ({reason})",
+        ParallelFallbackWarning,
+        stacklevel=stacklevel,
+    )
+    scope = _SCOPE
+    if scope is not None:
+        scope.record_fallback(component, reason)

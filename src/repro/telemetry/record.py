@@ -1,0 +1,215 @@
+"""Structured per-run records, emitted as JSON Lines.
+
+One :class:`RunRecord` describes one logical run — typically one
+experiment module executed by ``repro-experiments --emit-metrics PATH``.
+The record is a flat, schema-versioned JSON object so downstream tools
+(dashboards, regression gates, ad-hoc ``jq``) can consume it without
+importing this package:
+
+.. code-block:: json
+
+    {"schema_version": 1, "run": "figure_3_3", "trace": null,
+     "scale": 1500, "seed": 0, "config_hash": "9f2c...", "jobs": 4,
+     "mode": "parallel", "wall_time_s": 1.93, "sim_wall_time_s": 1.81,
+     "references": 612000, "references_per_sec": 338121.5,
+     "system_runs": 0, "level_runs": 12,
+     "l1i": {}, "l1d": {}, "l2": {}, "level": {"accesses": 612000},
+     "engine": {"job_batches": [], "fallbacks": []}}
+
+Counter groups (``l1i``/``l1d``/``l2`` from full-system runs,
+``level`` from single-level replays) aggregate every simulation executed
+in the emitting process while the run's scope was active.  Parallel runs
+execute their simulations in worker processes, so their counter groups
+stay empty and the record's value is the timing plus the ``engine``
+section — job batches and serial-fallback reasons.
+
+:func:`validate_record` is the schema the tests pin; bump
+:data:`SCHEMA_VERSION` when changing the shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+from .core import MetricsScope
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "build_run_record",
+    "config_hash",
+    "validate_record",
+    "append_record",
+    "read_records",
+]
+
+SCHEMA_VERSION = 1
+
+#: Required top-level fields and the types their values must have.
+_SCHEMA: Dict[str, tuple] = {
+    "schema_version": (int,),
+    "run": (str,),
+    "trace": (str, type(None)),
+    "scale": (int, type(None)),
+    "seed": (int,),
+    "config_hash": (str,),
+    "jobs": (int,),
+    "mode": (str,),
+    "wall_time_s": (int, float),
+    "sim_wall_time_s": (int, float),
+    "references": (int,),
+    "references_per_sec": (int, float),
+    "system_runs": (int,),
+    "level_runs": (int,),
+    "l1i": (dict,),
+    "l1d": (dict,),
+    "l2": (dict,),
+    "level": (dict,),
+    "engine": (dict,),
+}
+
+_MODES = ("serial", "parallel")
+
+
+def config_hash(config: object) -> str:
+    """Stable short hash of a configuration object.
+
+    Dataclasses (``SystemConfig``, ``CacheConfig``, ...) hash their
+    field dict; anything else hashes its ``repr``.  The hash identifies
+    "same configuration" across runs and machines — it is not
+    cryptographic provenance.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=repr)
+    else:
+        payload = repr(config)
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class RunRecord:
+    """One run's telemetry, shaped for JSON Lines emission."""
+
+    run: str
+    seed: int
+    config_hash: str
+    jobs: int
+    mode: str
+    wall_time_s: float
+    trace: Optional[str] = None
+    scale: Optional[int] = None
+    sim_wall_time_s: float = 0.0
+    references: int = 0
+    references_per_sec: float = 0.0
+    system_runs: int = 0
+    level_runs: int = 0
+    l1i: Dict[str, int] = field(default_factory=dict)
+    l1d: Dict[str, int] = field(default_factory=dict)
+    l2: Dict[str, int] = field(default_factory=dict)
+    level: Dict[str, int] = field(default_factory=dict)
+    engine: Dict[str, list] = field(default_factory=lambda: {"job_batches": [], "fallbacks": []})
+    schema_version: int = SCHEMA_VERSION
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunRecord":
+        validate_record(payload)
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
+def build_run_record(
+    scope: MetricsScope,
+    run: str,
+    config: object,
+    wall_time_s: float,
+    jobs: int = 1,
+    scale: Optional[int] = None,
+    seed: int = 0,
+    trace: Optional[str] = None,
+) -> RunRecord:
+    """Fold a finished scope into a :class:`RunRecord`."""
+    return RunRecord(
+        run=run,
+        trace=trace,
+        scale=scale,
+        seed=seed,
+        config_hash=config_hash(config),
+        jobs=jobs,
+        mode="parallel" if jobs > 1 else "serial",
+        wall_time_s=round(wall_time_s, 6),
+        sim_wall_time_s=round(scope.sim_wall_time, 6),
+        references=scope.references,
+        references_per_sec=round(scope.references_per_sec, 3),
+        system_runs=scope.system_runs,
+        level_runs=scope.level_runs,
+        l1i=dict(scope.l1i),
+        l1d=dict(scope.l1d),
+        l2=dict(scope.l2),
+        level=dict(scope.level),
+        engine={
+            "job_batches": [batch.as_dict() for batch in scope.job_batches],
+            "fallbacks": [event.as_dict() for event in scope.fallbacks],
+        },
+    )
+
+
+def validate_record(payload: Mapping) -> None:
+    """Raise ``ValueError`` unless *payload* matches the run-record schema."""
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"run record must be a JSON object, got {type(payload).__name__}")
+    missing = [key for key in _SCHEMA if key not in payload]
+    if missing:
+        raise ValueError(f"run record missing fields: {', '.join(missing)}")
+    for key, types in _SCHEMA.items():
+        value = payload[key]
+        # bool is an int subclass; reject it explicitly for counter fields.
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = "/".join(t.__name__ for t in types)
+            raise ValueError(f"run record field {key!r} must be {expected}, got {value!r}")
+    if payload["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"run record schema_version {payload['schema_version']} "
+            f"not supported (expected {SCHEMA_VERSION})"
+        )
+    if payload["mode"] not in _MODES:
+        raise ValueError(f"run record mode must be one of {_MODES}, got {payload['mode']!r}")
+    engine = payload["engine"]
+    for section in ("job_batches", "fallbacks"):
+        if not isinstance(engine.get(section), list):
+            raise ValueError(f"run record engine.{section} must be a list")
+    for group in ("l1i", "l1d", "l2", "level"):
+        for name, count in payload[group].items():
+            if not isinstance(name, str) or isinstance(count, bool) or not isinstance(count, int):
+                raise ValueError(f"run record {group} must map str -> int, got {name!r}: {count!r}")
+
+
+def append_record(path: str, record: RunRecord) -> None:
+    """Append one record to a JSON Lines file (creating it if needed)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(record.to_json())
+        handle.write("\n")
+
+
+def read_records(path: str) -> Iterator[RunRecord]:
+    """Read and validate every record of a JSON Lines file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not valid JSON: {exc}") from None
+            yield RunRecord.from_dict(payload)

@@ -1,0 +1,158 @@
+"""Tests for the bench-regression layer (`repro-bench diff`).
+
+The gate's contract: exit 0 when every shared benchmark is within
+tolerance, exit 1 when any regressed beyond it, exit 2 on usage/file
+errors; renamed/added benchmarks are reported but never fail the diff.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.bench import BenchDelta, diff_benchmarks, load_benchmark_stats
+from repro.telemetry.cli import main
+
+
+def write_bench_json(path, means):
+    """A minimal pytest-benchmark JSON file with the given name->mean map."""
+    payload = {
+        "machine_info": {"node": "test"},
+        "benchmarks": [
+            {
+                "name": name,
+                "fullname": f"benchmarks/test_x.py::{name}",
+                "stats": {
+                    "mean": mean,
+                    "median": mean,
+                    "min": mean * 0.9,
+                    "max": mean * 1.1,
+                    "stddev": 0.0,
+                    "rounds": 3,
+                },
+            }
+            for name, mean in means.items()
+        ],
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_bench_json(
+        tmp_path / "baseline.json", {"test_a": 1.0, "test_b": 0.5, "test_gone": 2.0}
+    )
+
+
+class TestLoadStats:
+    def test_loads_requested_metric(self, baseline):
+        stats = load_benchmark_stats(baseline, "mean")
+        assert stats == {"test_a": 1.0, "test_b": 0.5, "test_gone": 2.0}
+        assert load_benchmark_stats(baseline, "min")["test_a"] == pytest.approx(0.9)
+
+    def test_rejects_unknown_metric(self, baseline):
+        with pytest.raises(ValueError, match="metric"):
+            load_benchmark_stats(baseline, "p99")
+
+    def test_rejects_non_benchmark_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError, match="benchmarks"):
+            load_benchmark_stats(str(path))
+
+
+class TestDelta:
+    def test_ratio_and_regression(self):
+        delta = BenchDelta("x", baseline=1.0, current=1.3)
+        assert delta.ratio == pytest.approx(1.3)
+        assert delta.percent_change == pytest.approx(30.0)
+        assert delta.regressed(0.25)
+        assert not delta.regressed(0.35)
+
+    def test_boundary_is_not_a_regression(self):
+        # current == baseline * (1 + tolerance) is within tolerance.
+        assert not BenchDelta("x", 1.0, 1.25).regressed(0.25)
+
+    def test_zero_baseline(self):
+        assert BenchDelta("x", 0.0, 0.0).ratio == 1.0
+        assert BenchDelta("x", 0.0, 0.1).ratio == float("inf")
+
+
+class TestDiff:
+    def test_within_tolerance_passes(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 1.1, "test_b": 0.55, "test_gone": 2.0}
+        )
+        diff = diff_benchmarks(baseline, current, tolerance=0.25)
+        assert diff.ok
+        assert diff.regressions == []
+
+    def test_injected_regression_fails(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 2.0, "test_b": 0.5, "test_gone": 2.0}
+        )
+        diff = diff_benchmarks(baseline, current, tolerance=0.25)
+        assert not diff.ok
+        assert [d.name for d in diff.regressions] == ["test_a"]
+
+    def test_improvement_never_fails(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 0.1, "test_b": 0.05, "test_gone": 0.2}
+        )
+        assert diff_benchmarks(baseline, current, tolerance=0.0).ok
+
+    def test_missing_and_added_reported_but_pass(self, tmp_path, baseline):
+        current = write_bench_json(tmp_path / "current.json", {"test_a": 1.0, "test_new": 9.9})
+        diff = diff_benchmarks(baseline, current, tolerance=0.25)
+        assert diff.ok
+        assert set(diff.missing) == {"test_b", "test_gone"}
+        assert list(diff.added) == ["test_new"]
+        rendered = diff.render()
+        assert "missing from current run" in rendered
+        assert "new benchmark" in rendered
+
+    def test_render_flags_regressions(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 3.0, "test_b": 0.5, "test_gone": 2.0}
+        )
+        rendered = diff_benchmarks(baseline, current, tolerance=0.25).render()
+        assert "REGRESSED" in rendered
+        assert "1 regression(s)" in rendered
+
+    def test_negative_tolerance_rejected(self, tmp_path, baseline):
+        current = write_bench_json(tmp_path / "current.json", {"test_a": 1.0})
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_benchmarks(baseline, current, tolerance=-0.1)
+
+
+class TestCli:
+    def test_pass_exit_zero(self, tmp_path, baseline, capsys):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 1.0, "test_b": 0.5, "test_gone": 2.0}
+        )
+        assert main(["diff", current, "--baseline", baseline]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, baseline, capsys):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 5.0, "test_b": 0.5, "test_gone": 2.0}
+        )
+        assert main(["diff", current, "--baseline", baseline, "--tolerance", "0.25"]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 1.5, "test_b": 0.5, "test_gone": 2.0}
+        )
+        assert main(["diff", current, "--baseline", baseline, "--tolerance", "0.25"]) == 1
+        assert main(["diff", current, "--baseline", baseline, "--tolerance", "0.6"]) == 0
+
+    def test_metric_flag(self, tmp_path, baseline):
+        current = write_bench_json(
+            tmp_path / "current.json", {"test_a": 1.0, "test_b": 0.5, "test_gone": 2.0}
+        )
+        assert main(["diff", current, "--baseline", baseline, "--metric", "min"]) == 0
+
+    def test_missing_file_exit_two(self, tmp_path, capsys):
+        assert main(["diff", str(tmp_path / "nope.json"), "--baseline", str(tmp_path / "x")]) == 2
+        assert "repro-bench:" in capsys.readouterr().err

@@ -29,7 +29,9 @@ from repro.experiments.engine import (
     run_experiments,
     run_jobs,
     spec_of,
+    validate_jobs,
 )
+from repro.telemetry.core import ParallelFallbackWarning
 from repro.experiments.grid import GridSpec, sweep_grid
 from repro.experiments.sweeps import (
     batch_entry_sweeps,
@@ -115,6 +117,91 @@ class TestJobsResolution:
         assert resolve_jobs(-3) == 1
 
 
+class TestJobsValidation:
+    """CLI-boundary validation: reject rather than silently clamp."""
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            validate_jobs(0)
+        with pytest.raises(ConfigurationError, match="--jobs"):
+            validate_jobs(-2)
+
+    def test_passes_valid_values_through(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert validate_jobs(1) == 1
+        assert validate_jobs(8) == 8
+        assert validate_jobs(None) == 1  # falls back to default_jobs()
+
+    def test_none_resolves_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert validate_jobs(None) == 3
+
+    def test_malformed_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_JOBS"):
+            validate_jobs(None)
+
+    def test_cli_rejects_bad_jobs_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table_1_1", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+
+    def test_cli_rejects_malformed_env(self, monkeypatch, capsys):
+        from repro.experiments.cli import main
+
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert main(["table_1_1", "--scale", "300"]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err
+
+
+class TestFallbackSurfacing:
+    """Silent serial fallback is no longer silent: one warning per event."""
+
+    def _toy_traces(self):
+        pairs = [(0, 16 * i) for i in range(64)] + [(1, 4096 + 16 * i) for i in range(64)]
+        return [trace_from_pairs("toy", pairs)]
+
+    def test_grid_warns_on_handmade_trace(self):
+        spec = GridSpec(cache_sizes_kb=[4], line_sizes=[16])
+        with pytest.warns(ParallelFallbackWarning, match="toy"):
+            sweep_grid(self._toy_traces(), spec, side="d", jobs=4)
+
+    def test_grid_warns_on_undescribable_structure(self, tiny_suite):
+        spec = GridSpec(
+            cache_sizes_kb=[4],
+            line_sizes=[16],
+            structures={"vc4-noswap": lambda: VictimCache(4, swap_on_hit=False)},
+        )
+        with pytest.warns(ParallelFallbackWarning, match="vc4-noswap"):
+            sweep_grid(tiny_suite[:1], spec, side="d", jobs=4)
+
+    def test_batch_sweeps_warn_on_handmade_trace(self):
+        with pytest.warns(ParallelFallbackWarning, match="toy"):
+            batch_entry_sweeps(self._toy_traces(), CONFIG, kind="miss", jobs=2)
+        with pytest.warns(ParallelFallbackWarning, match="toy"):
+            batch_run_sweeps(self._toy_traces(), CONFIG, jobs=2)
+
+    def test_serial_request_never_warns(self, tiny_suite):
+        import warnings
+
+        spec = GridSpec(cache_sizes_kb=[4], line_sizes=[16])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            sweep_grid(self._toy_traces(), spec, side="d", jobs=1)
+            batch_entry_sweeps(tiny_suite[:1], CONFIG, kind="victim", jobs=1)
+
+    def test_parallel_registry_traces_never_warn(self, tiny_suite):
+        import warnings
+
+        spec = GridSpec(cache_sizes_kb=[4], line_sizes=[16])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            sweep_grid(tiny_suite[:1], spec, side="d", jobs=2)
+
+
 class TestLevelJobEquivalence:
     def test_summary_matches_inline_run(self, tiny_suite):
         from repro.experiments.runner import run_level
@@ -155,7 +242,8 @@ class TestSweepGridDeterminism:
         traces = [trace_from_pairs("toy", pairs)]
         spec = GridSpec(cache_sizes_kb=[4], line_sizes=[16])
         serial = sweep_grid(traces, spec, side="d", jobs=1)
-        parallel = sweep_grid(traces, spec, side="d", jobs=4)
+        with pytest.warns(ParallelFallbackWarning):
+            parallel = sweep_grid(traces, spec, side="d", jobs=4)
         assert serial.rows == parallel.rows
 
     def test_undescribable_structure_falls_back(self, tiny_suite):
@@ -165,7 +253,8 @@ class TestSweepGridDeterminism:
             structures={"vc4-noswap": lambda: VictimCache(4, swap_on_hit=False)},
         )
         serial = sweep_grid(tiny_suite[:2], spec, side="d", jobs=1)
-        parallel = sweep_grid(tiny_suite[:2], spec, side="d", jobs=4)
+        with pytest.warns(ParallelFallbackWarning):
+            parallel = sweep_grid(tiny_suite[:2], spec, side="d", jobs=4)
         assert serial.rows == parallel.rows
 
 

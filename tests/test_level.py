@@ -30,6 +30,29 @@ class TestLevelStats:
         assert stats.miss_rate == pytest.approx(2 / 3)
         assert stats.effective_miss_rate == pytest.approx(1 / 3)
 
+    def test_equal_instances_hash_equal(self):
+        """Regression: ``__eq__`` without ``__hash__`` made LevelStats
+        unhashable (``__hash__`` was implicitly None)."""
+        assert LevelStats() == LevelStats()
+        assert hash(LevelStats()) == hash(LevelStats())
+
+    def test_usable_in_hash_containers(self):
+        a, b = LevelStats(), LevelStats()
+        b.record(AccessOutcome.HIT)
+        assert a != b
+        assert len({a, b}) == 2
+        assert {a: "zeroed"}[LevelStats()] == "zeroed"
+
+    def test_as_dict_snapshot(self):
+        stats = LevelStats()
+        stats.record(AccessOutcome.HIT)
+        stats.record(AccessOutcome.MISS)
+        snapshot = stats.as_dict()
+        assert snapshot["accesses"] == 2
+        assert snapshot["hits"] == 1
+        assert snapshot["misses_to_next_level"] == 1
+        assert snapshot["demand_misses"] == 1
+
 
 class TestCacheLevel:
     def test_defaults_to_null_augmentation(self, l1_config):

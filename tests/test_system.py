@@ -7,7 +7,7 @@ from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
 from repro.buffers.victim_cache import VictimCache
 from repro.common.config import CacheConfig, SystemConfig, baseline_system
 from repro.common.types import IFETCH, LOAD, STORE, AccessOutcome
-from repro.hierarchy.system import MemorySystem
+from repro.hierarchy.system import L2Stats, MemorySystem
 
 
 class TestRouting:
@@ -143,6 +143,105 @@ class TestRunAndResult:
         assert system.instructions == 0
         assert system.l2stats.demand_accesses == 0
         assert system.ilevel.stats.accesses == 0
+
+
+def _same_counters(a: MemorySystem, b: MemorySystem) -> None:
+    """Assert two systems agree on every externally visible counter."""
+    assert a.instructions == b.instructions
+    assert a.data_references == b.data_references
+    assert a.ilevel.stats == b.ilevel.stats
+    assert a.dlevel.stats == b.dlevel.stats
+    assert a.l2stats == b.l2stats
+
+
+class TestAccessRunParity:
+    """``run()`` inlines ``access()``; the two must stay interchangeable."""
+
+    def _pairs(self, small_by_name):
+        return list(small_by_name["ccom"])
+
+    def test_run_matches_pure_access_loop(self, small_by_name):
+        pairs = self._pairs(small_by_name)
+        via_access = MemorySystem()
+        for kind, address in pairs:
+            via_access.access(kind, address)
+        via_run = MemorySystem()
+        via_run.run(pairs)
+        _same_counters(via_access, via_run)
+
+    def test_interleaving_access_and_run_matches(self, small_by_name):
+        pairs = self._pairs(small_by_name)
+        third = len(pairs) // 3
+        reference = MemorySystem()
+        reference.run(pairs)
+        mixed = MemorySystem()
+        for kind, address in pairs[:third]:
+            mixed.access(kind, address)
+        mixed.run(pairs[third : 2 * third])
+        for kind, address in pairs[2 * third :]:
+            mixed.access(kind, address)
+        _same_counters(reference, mixed)
+
+    def test_interleaving_with_stream_buffer_matches(self, small_by_name):
+        # Stream buffers exercise the pending-prefetch queue both paths
+        # must drain identically.
+        pairs = self._pairs(small_by_name)
+        half = len(pairs) // 2
+        reference = MemorySystem(daugmentation=StreamBuffer(entries=4))
+        reference.run(pairs)
+        mixed = MemorySystem(daugmentation=StreamBuffer(entries=4))
+        mixed.run(pairs[:half])
+        for kind, address in pairs[half:]:
+            mixed.access(kind, address)
+        _same_counters(reference, mixed)
+
+    def test_raising_iterator_writes_back_counters(self, small_by_name):
+        pairs = self._pairs(small_by_name)
+        prefix = len(pairs) // 2
+
+        def raising_trace():
+            for pair in pairs[:prefix]:
+                yield pair
+            raise RuntimeError("trace source died")
+
+        clean = MemorySystem()
+        clean.run(pairs[:prefix])
+        broken = MemorySystem()
+        with pytest.raises(RuntimeError, match="trace source died"):
+            broken.run(raising_trace())
+        # The finally write-back must leave every counter exactly where a
+        # clean run over the same prefix leaves it.
+        _same_counters(clean, broken)
+
+    def test_access_continues_consistently_after_mid_run_raise(self):
+        def raising_trace():
+            yield (int(LOAD), 0x2000)
+            yield (int(IFETCH), 0x100)
+            raise ValueError("boom")
+
+        system = MemorySystem()
+        with pytest.raises(ValueError):
+            system.run(raising_trace())
+        assert system.instructions == 1
+        assert system.data_references == 1
+        assert system.l2stats.demand_accesses == 2
+        # The system remains usable and consistent via access().
+        assert system.access(LOAD, 0x2000) is AccessOutcome.HIT
+        assert system.data_references == 2
+        assert system.l2stats.demand_accesses == 2
+
+
+class TestL2StatsHashability:
+    def test_equal_instances_hash_equal(self):
+        assert L2Stats() == L2Stats()
+        assert hash(L2Stats()) == hash(L2Stats())
+
+    def test_usable_in_hash_containers(self):
+        a, b = L2Stats(), L2Stats()
+        b.demand_accesses = 7
+        assert a != b
+        assert len({a, b}) == 2
+        assert {a: "baseline"}[L2Stats()] == "baseline"
 
 
 class TestConfigVariants:

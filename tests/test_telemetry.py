@@ -1,0 +1,313 @@
+"""Tests for the run-telemetry subsystem.
+
+The contract: telemetry is disabled by default and costs (next to)
+nothing when disabled — simulation results are bit-identical with and
+without an active scope; when a scope is active, every simulation,
+engine batch, and serial fallback executed under it is observed; run
+records round-trip through JSON Lines and are schema-validated.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.common.config import CacheConfig, baseline_system
+from repro.common.types import IFETCH, LOAD
+from repro.experiments.engine import LevelJob, TraceKey, run_jobs
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import batch_entry_sweeps, batch_run_sweeps
+from repro.hierarchy.system import MemorySystem
+from repro.telemetry import (
+    Counter,
+    MetricsScope,
+    ParallelFallbackWarning,
+    RunRecord,
+    Timer,
+    append_record,
+    build_run_record,
+    config_hash,
+    read_records,
+    record_fallback,
+    scoped,
+    validate_record,
+)
+from repro.telemetry import core as telemetry_core
+from repro.traces.registry import build_trace
+from repro.traces.trace import trace_from_pairs
+
+SCALE = 800
+CONFIG = CacheConfig(4096, 16)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return build_trace("ccom", SCALE).materialize()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_scope():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry_core.deactivate()
+    yield
+    assert telemetry_core.current() is None, "test leaked an active telemetry scope"
+    telemetry_core.deactivate()
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter("jobs")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_timer_accumulates_across_uses(self):
+        timer = Timer("t")
+        for _ in range(2):
+            with timer:
+                pass
+        assert timer.calls == 2
+        assert timer.elapsed >= 0.0
+
+    def test_scope_memoizes_counters_and_timers(self):
+        scope = MetricsScope()
+        assert scope.counter("a") is scope.counter("a")
+        assert scope.timer("b") is scope.timer("b")
+        scope.counter("a").add(3)
+        assert scope.counters["a"].value == 3
+
+
+class TestScopeLifecycle:
+    def test_disabled_by_default(self):
+        assert telemetry_core.current() is None
+        assert not telemetry_core.enabled()
+
+    def test_scoped_activates_and_deactivates(self):
+        with scoped() as scope:
+            assert telemetry_core.current() is scope
+        assert telemetry_core.current() is None
+
+    def test_deactivated_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with scoped():
+                raise RuntimeError("boom")
+        assert telemetry_core.current() is None
+
+
+class TestZeroOverheadDisabledPath:
+    def test_system_results_identical_with_and_without_scope(self, trace):
+        plain = MemorySystem().run(trace)
+        with scoped():
+            observed = MemorySystem().run(trace)
+        assert plain.istats == observed.istats
+        assert plain.dstats == observed.dstats
+        assert plain.l2stats == observed.l2stats
+
+    def test_disabled_run_observes_nothing(self, trace):
+        scope = MetricsScope()
+        MemorySystem().run(trace)  # no scope active
+        assert scope.system_runs == 0
+        assert scope.references == 0
+
+    def test_record_fallback_without_scope_only_warns(self):
+        with pytest.warns(ParallelFallbackWarning):
+            record_fallback("unit-test", "because", stacklevel=2)
+        # No scope to record into: nothing to assert beyond "did not raise".
+
+
+class TestSimulationObservation:
+    def test_system_run_observed(self, trace):
+        with scoped() as scope:
+            result = MemorySystem().run(trace)
+        assert scope.system_runs == 1
+        assert scope.references == result.total_references
+        assert scope.l1i["accesses"] == result.istats.accesses
+        assert scope.l1d["accesses"] == result.dstats.accesses
+        assert scope.l2["demand_accesses"] == result.l2stats.demand_accesses
+        assert scope.sim_wall_time > 0.0
+        assert scope.references_per_sec > 0.0
+
+    def test_level_run_observed(self, trace):
+        with scoped() as scope:
+            run = run_level(trace.stream("d"), CONFIG)
+        assert scope.level_runs == 1
+        assert scope.references == run.stats.accesses
+        assert scope.level["accesses"] == run.stats.accesses
+
+    def test_observations_aggregate(self, trace):
+        with scoped() as scope:
+            MemorySystem().run(trace)
+            MemorySystem().run(trace)
+        assert scope.system_runs == 2
+        # Two identical runs double every counter.
+        single = MemorySystem().run(trace)
+        assert scope.l1i["accesses"] == 2 * single.istats.accesses
+
+
+class TestEngineObservation:
+    def test_run_jobs_records_batch(self, trace):
+        key = TraceKey.of(trace)
+        jobs = [LevelJob(key, "d", 4096, 16, "none"), LevelJob(key, "i", 4096, 16, "none")]
+        with scoped() as scope:
+            run_jobs(jobs, jobs=1)
+        assert len(scope.job_batches) == 1
+        batch = scope.job_batches[0]
+        assert batch.kind == "LevelJob"
+        assert batch.n_jobs == 2
+        assert batch.workers == 1
+
+    def test_run_jobs_parallel_progress_heartbeats(self, trace):
+        key = TraceKey.of(trace)
+        jobs = [LevelJob(key, side, 4096, 16, "none") for side in ("i", "d")]
+        updates = []
+        results = run_jobs(jobs, jobs=2, progress=updates.append, heartbeat=0.05)
+        assert len(results) == 2
+        assert updates, "parallel run must emit at least one progress heartbeat"
+        final = updates[-1]
+        assert final.done == final.total == 2
+        assert "jobs done" in str(final)
+
+
+class TestFallbackPropagation:
+    def _toy_trace(self):
+        pairs = [(int(IFETCH), 16 * i) for i in range(32)] + [
+            (int(LOAD), 4096 + 16 * i) for i in range(32)
+        ]
+        return trace_from_pairs("toy", pairs)
+
+    def test_batch_entry_sweeps_records_reason(self):
+        with scoped() as scope:
+            with pytest.warns(ParallelFallbackWarning, match="fell back to serial"):
+                batch_entry_sweeps([self._toy_trace()], CONFIG, kind="miss", jobs=2)
+        assert len(scope.fallbacks) == 1
+        event = scope.fallbacks[0]
+        assert event.component == "batch_entry_sweeps"
+        assert "toy" in event.reason
+
+    def test_batch_run_sweeps_records_reason(self):
+        with scoped() as scope:
+            with pytest.warns(ParallelFallbackWarning):
+                batch_run_sweeps([self._toy_trace()], CONFIG, jobs=2)
+        assert [e.component for e in scope.fallbacks] == ["batch_run_sweeps"]
+
+    def test_no_fallback_when_serial_requested(self):
+        with scoped() as scope:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ParallelFallbackWarning)
+                batch_entry_sweeps([self._toy_trace()], CONFIG, kind="miss", jobs=1)
+        assert scope.fallbacks == []
+
+    def test_no_fallback_for_registry_traces(self, trace):
+        with scoped() as scope:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", ParallelFallbackWarning)
+                batch_entry_sweeps([trace], CONFIG, kind="victim", jobs=2)
+        assert scope.fallbacks == []
+
+
+class TestRunRecords:
+    def _record(self, scope=None):
+        return build_run_record(
+            scope if scope is not None else MetricsScope(),
+            run="unit",
+            config=baseline_system(),
+            wall_time_s=1.25,
+            jobs=2,
+            scale=SCALE,
+            seed=0,
+        )
+
+    def test_record_validates(self):
+        validate_record(self._record().as_dict())
+
+    def test_json_roundtrip(self, tmp_path, trace):
+        with scoped() as scope:
+            MemorySystem().run(trace)
+        record = self._record(scope)
+        path = str(tmp_path / "runs.jsonl")
+        append_record(path, record)
+        append_record(path, record)
+        loaded = list(read_records(path))
+        assert loaded == [record, record]
+        assert loaded[0].l1i == record.l1i
+
+    def test_mode_follows_jobs(self):
+        scope = MetricsScope()
+        serial = build_run_record(scope, "x", baseline_system(), 0.1, jobs=1)
+        parallel = build_run_record(scope, "x", baseline_system(), 0.1, jobs=4)
+        assert serial.mode == "serial"
+        assert parallel.mode == "parallel"
+
+    def test_fallbacks_reach_the_record(self):
+        scope = MetricsScope()
+        scope.record_fallback("sweep_grid", "toy trace")
+        record = self._record(scope)
+        assert record.engine["fallbacks"] == [
+            {"component": "sweep_grid", "reason": "toy trace"}
+        ]
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            lambda d: d.pop("references"),
+            lambda d: d.update(mode="warp"),
+            lambda d: d.update(schema_version=99),
+            lambda d: d.update(l1i={"accesses": "many"}),
+            lambda d: d.update(references=True),
+        ],
+    )
+    def test_validation_rejects_bad_payloads(self, mutation):
+        payload = self._record().as_dict()
+        mutation(payload)
+        with pytest.raises(ValueError):
+            validate_record(payload)
+
+    def test_config_hash_stable_and_sensitive(self):
+        assert config_hash(baseline_system()) == config_hash(baseline_system())
+        assert config_hash(CacheConfig(4096, 16)) != config_hash(CacheConfig(8192, 16))
+
+    def test_read_records_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            list(read_records(str(path)))
+
+
+class TestCliEmitMetrics:
+    def test_one_record_per_run_serial(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = str(tmp_path / "metrics.jsonl")
+        assert main(["table_2_1", "figure_3_3", "--scale", "300", "--emit-metrics", path]) == 0
+        capsys.readouterr()
+        records = list(read_records(path))
+        assert [r.run for r in records] == ["table_2_1", "figure_3_3"]
+        for record in records:
+            validate_record(json.loads(record.to_json()))
+            assert record.mode == "serial"
+            assert record.scale == 300
+        # figure_3_3 simulates; its record carries references and counters.
+        assert records[1].references > 0
+        assert records[1].level_runs > 0
+
+    def test_one_record_per_run_parallel(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        path = str(tmp_path / "metrics.jsonl")
+        assert main(
+            ["table_2_1", "table_1_1", "--scale", "300", "--jobs", "2", "--emit-metrics", path]
+        ) == 0
+        capsys.readouterr()
+        records = list(read_records(path))
+        assert [r.run for r in records] == ["table_2_1", "table_1_1"]
+        for record in records:
+            assert record.mode == "parallel"
+            assert record.jobs == 2
+            assert record.engine["job_batches"], "parallel record must carry the batch stats"
+
+    def test_no_metrics_file_without_flag(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table_1_1", "--scale", "300"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
