@@ -16,10 +16,11 @@ import sys
 from repro import (
     CacheConfig,
     SetAssociativeCache,
-    VictimCache,
+    SystemSpec,
+    VictimCacheSpec,
     build_trace,
 )
-from repro.experiments.runner import run_level
+from repro.experiments.engine import LevelJob, run_jobs
 from repro.experiments.sweeps import victim_cache_sweep
 from repro.traces import BENCHMARK_NAMES
 
@@ -56,18 +57,22 @@ def main() -> None:
         previous = removed
 
     # --- 2. victim cache vs. bigger cache vs. associativity -----------------
+    # Each option is a declarative (geometry, structure-spec) point, so
+    # the whole comparison is a batch of picklable engine jobs.
     print("\n2) three ways to spend transistors (data side, suite totals)\n")
     options = {
-        "4KB direct-mapped": lambda: (CacheConfig(BASE_SIZE, LINE), None),
-        "4KB DM + 4-entry VC": lambda: (CacheConfig(BASE_SIZE, LINE), VictimCache(4)),
-        "8KB direct-mapped": lambda: (CacheConfig(2 * BASE_SIZE, LINE), None),
+        "4KB direct-mapped": (CacheConfig(BASE_SIZE, LINE), None),
+        "4KB DM + 4-entry VC": (CacheConfig(BASE_SIZE, LINE), VictimCacheSpec(4)),
+        "8KB direct-mapped": (CacheConfig(2 * BASE_SIZE, LINE), None),
     }
-    for label, make in options.items():
-        cache_config, augmentation = make()
-        slow = 0
-        for trace in traces:
-            run = run_level(trace.data_addresses, cache_config, augmentation)
-            slow += run.stats.misses_to_next_level
+    jobs = [
+        LevelJob(SystemSpec.for_level(trace, cache_config, side="d", structure=structure))
+        for cache_config, structure in options.values()
+        for trace in traces
+    ]
+    summaries = iter(run_jobs(jobs, jobs=2))
+    for label in options:
+        slow = sum(next(summaries).misses_to_next_level for _ in traces)
         print(f"   {label:22s} misses paying full penalty: {slow}")
     # 2-way set-associative needs the raw cache model.
     slow = 0

@@ -65,6 +65,22 @@ from .hierarchy import (
     evaluate_performance,
 )
 from . import telemetry
+from .specs import (
+    CompositeSpec,
+    MissCacheSpec,
+    MultiWayStreamBufferSpec,
+    MultiWayStrideBufferSpec,
+    SpecError,
+    StreamBufferSpec,
+    StrideBufferSpec,
+    StructureSpec,
+    SystemSpec,
+    TraceSpec,
+    VictimCacheSpec,
+    build,
+    describe,
+    spec_hash,
+)
 from .traces import (
     BENCHMARK_NAMES,
     CustomWorkload,
@@ -118,6 +134,21 @@ __all__ = [
     "SystemResult",
     "SystemPerformance",
     "evaluate_performance",
+    # specs
+    "SpecError",
+    "StructureSpec",
+    "MissCacheSpec",
+    "VictimCacheSpec",
+    "StreamBufferSpec",
+    "MultiWayStreamBufferSpec",
+    "StrideBufferSpec",
+    "MultiWayStrideBufferSpec",
+    "CompositeSpec",
+    "TraceSpec",
+    "SystemSpec",
+    "build",
+    "describe",
+    "spec_hash",
     # telemetry
     "telemetry",
     # traces

@@ -10,7 +10,8 @@ configuration; experiments derive variants with ``dataclasses.replace``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping
 
 from .address import log2_exact
 from .errors import ConfigurationError
@@ -65,6 +66,13 @@ class CacheConfig:
     def with_line_size(self, line_size: int) -> "CacheConfig":
         return replace(self, line_size=line_size)
 
+    def as_dict(self) -> Dict[str, int]:
+        return {"size_bytes": self.size_bytes, "line_size": self.line_size}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CacheConfig":
+        return cls(size_bytes=payload["size_bytes"], line_size=payload["line_size"])
+
 
 @dataclass(frozen=True)
 class TimingConfig:
@@ -97,6 +105,13 @@ class TimingConfig:
         if self.l2_fill_latency < 1:
             raise ConfigurationError("l2_fill_latency must be at least 1")
 
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TimingConfig":
+        return cls(**{f.name: payload[f.name] for f in fields(cls) if f.name in payload})
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -110,6 +125,23 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.l2.line_size < self.icache.line_size or self.l2.line_size < self.dcache.line_size:
             raise ConfigurationError("L2 line size must be >= L1 line sizes")
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "icache": self.icache.as_dict(),
+            "dcache": self.dcache.as_dict(),
+            "l2": self.l2.as_dict(),
+            "timing": self.timing.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SystemConfig":
+        return cls(
+            icache=CacheConfig.from_dict(payload["icache"]),
+            dcache=CacheConfig.from_dict(payload["dcache"]),
+            l2=CacheConfig.from_dict(payload["l2"]),
+            timing=TimingConfig.from_dict(payload["timing"]),
+        )
 
 
 def baseline_system() -> SystemConfig:

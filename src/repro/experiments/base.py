@@ -6,14 +6,63 @@ returning either a :class:`TableResult` (for the paper's tables) or a
 behind the plot, since this is a terminal harness).  Both render to
 fixed-width text in the shape of the paper's artifact so measured and
 published values can be compared side by side.
+
+Figure experiments that replay per-(trace, side) level points can
+declare those points as :class:`~repro.specs.SystemSpec` values via
+:func:`level_point_specs` and evaluate them through the engine with
+:func:`run_point_specs` — the same declarative currency the grid and
+batch sweeps use, so a figure's points fan out over workers for free.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
-__all__ = ["Series", "FigureResult", "TableResult", "format_value"]
+__all__ = [
+    "Series",
+    "FigureResult",
+    "TableResult",
+    "format_value",
+    "level_point_specs",
+    "run_point_specs",
+]
+
+
+def level_point_specs(
+    traces,
+    config,
+    structure=None,
+    sides: Sequence[str] = ("i", "d"),
+    classify: bool = False,
+    warmup: int = 0,
+) -> Optional[List]:
+    """SystemSpecs for every (side, trace) level point, in nested order.
+
+    Ordering is ``for side in sides: for trace in traces``.  Returns
+    None when any trace lacks a registry rebuild recipe — the caller
+    then replays inline on the live trace objects instead.
+    """
+    from ..specs import SystemSpec
+
+    specs = []
+    for side in sides:
+        for trace in traces:
+            spec = SystemSpec.for_level(
+                trace, config, side=side, structure=structure,
+                classify=classify, warmup=warmup,
+            )
+            if spec is None:
+                return None
+            specs.append(spec)
+    return specs
+
+
+def run_point_specs(specs, jobs: Optional[int] = None) -> List:
+    """LevelSummaries for spec points, via the (optionally parallel) engine."""
+    from .engine import LevelJob, run_jobs
+
+    return run_jobs([LevelJob(spec) for spec in specs], jobs=jobs)
 
 Value = Union[int, float, str]
 

@@ -33,6 +33,7 @@ from typing import List, Optional
 
 from ..common.config import baseline_system
 from ..common.errors import ConfigurationError
+from ..specs import SystemSpec
 from ..telemetry import core as telemetry
 from ..telemetry.record import append_record, build_run_record
 from . import ALL_EXPERIMENTS
@@ -179,6 +180,8 @@ def _heartbeat_printer(update) -> None:
 
 
 def _emit_record(path: str, scope, name: str, elapsed: float, jobs: int, args) -> None:
+    # Experiments span many traces, so the embedded spec is config-only
+    # (trace=None): it still pins geometry/timing and hashes canonically.
     record = build_run_record(
         scope,
         run=name,
@@ -187,6 +190,7 @@ def _emit_record(path: str, scope, name: str, elapsed: float, jobs: int, args) -
         jobs=jobs,
         scale=args.scale,
         seed=args.seed,
+        spec=SystemSpec(trace=None, config=baseline_system()),
     )
     append_record(path, record)
 

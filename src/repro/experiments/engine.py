@@ -32,45 +32,39 @@ Job kinds
                      :class:`ExperimentOutcome`
 =================== ===================================================
 
-Helper structures are described by *spec strings* rather than factories
-so jobs stay picklable: ``"none"``, ``"mc4"`` (4-entry miss cache),
-``"vc4"`` (victim cache), ``"sb4"`` (4-entry stream buffer), and
-``"sb4x4"`` (4-way × 4-entry multi-way buffer).  :func:`spec_of` maps a
-live structure built with the paper's default options back to its spec,
-which is how :func:`~repro.experiments.grid.sweep_grid` converts its
-factory axis into jobs.
+Each job carries a :class:`~repro.specs.SystemSpec` — a frozen,
+picklable description of trace, geometry, and helper structure — so
+*every* registered structure configuration fans out, default options or
+not.  The legacy string codes (``"mc4"``, ``"vc4"``, ``"sb4"``,
+``"sb4x4"``) survive as deprecated shims over
+:func:`repro.specs.parse_structure_code`.
 """
 
 from __future__ import annotations
 
 import os
-import re
 import time
+import warnings
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..buffers.base import L1Augmentation
-from ..buffers.miss_cache import MissCache
-from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
-from ..buffers.victim_cache import VictimCache
-from ..caches.fully_associative import ReplacementPolicy
-from ..common.config import CacheConfig
-from ..common.errors import ConfigurationError, UnknownWorkloadError
+from ..common.errors import ConfigurationError
 from ..common.stats import percent, safe_div
+from ..specs import SpecError, SystemSpec, TraceSpec, describe, parse_structure_code
+from ..specs import build as build_spec
+from ..specs import structure_code as _structure_code
 from ..telemetry.core import JobProgress, ProgressCallback
 from ..telemetry.core import current as _telemetry_scope
-from ..traces.registry import get_workload
 from .base import FigureResult, TableResult
 from .runner import run_level
 from .sweeps import (
-    EntrySweep,
-    RunLengthSweep,
     miss_cache_sweep,
     stream_buffer_run_sweep,
     victim_cache_sweep,
 )
-from .workloads import BENCHMARK_NAMES, materialized_trace, suite
+from .workloads import BENCHMARK_NAMES, suite
 
 __all__ = [
     "TraceKey",
@@ -93,131 +87,76 @@ __all__ = [
 
 # -- trace identity -----------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class TraceKey:
-    """Identity of a registry trace: enough to rebuild it anywhere.
-
-    Workers regenerate the trace from this recipe instead of receiving
-    megabytes of pickled address pairs; the synthetic builders are
-    deterministic in ``(name, scale, seed)``, so the rebuilt trace is
-    identical to the parent's.
-    """
-
-    name: str
-    scale: Optional[int]
-    seed: int = 0
-
-    @classmethod
-    def of(cls, trace) -> Optional["TraceKey"]:
-        """Key for a registry-built materialized trace, else None.
-
-        Traces assembled by hand (``trace_from_pairs``, file loads)
-        carry no rebuild recipe; callers fall back to serial execution
-        for those.
-        """
-        meta = getattr(trace, "meta", None)
-        if meta is None or not getattr(meta, "scale", 0):
-            return None
-        try:
-            get_workload(meta.name)
-        except UnknownWorkloadError:
-            return None
-        return cls(name=meta.name, scale=meta.scale, seed=meta.seed)
-
-    def trace(self):
-        """The (process-memoized) materialized trace this key names."""
-        return materialized_trace(self.name, self.scale, self.seed)
+#: Identity of a registry trace: enough to rebuild it anywhere.  Now an
+#: alias of :class:`repro.specs.TraceSpec`; the engine historically
+#: called it a TraceKey and tests/callers may keep using that name.
+TraceKey = TraceSpec
 
 
-# -- structure specs ----------------------------------------------------------
-
-_SPEC_PATTERNS: Sequence[Tuple[re.Pattern, str]] = (
-    (re.compile(r"^mc(\d+)$"), "mc"),
-    (re.compile(r"^vc(\d+)$"), "vc"),
-    (re.compile(r"^sb(\d+)$"), "sb"),
-    (re.compile(r"^sb(\d+)x(\d+)$"), "msb"),
-)
+# -- legacy structure codes (deprecated shims) --------------------------------
 
 
 def build_structure(spec: Optional[str]) -> Optional[L1Augmentation]:
-    """Build a helper structure from its spec string (None for ``"none"``)."""
-    if spec is None or spec == "none":
-        return None
-    for pattern, kind in _SPEC_PATTERNS:
-        match = pattern.match(spec)
-        if match is None:
-            continue
-        if kind == "mc":
-            return MissCache(int(match.group(1)))
-        if kind == "vc":
-            return VictimCache(int(match.group(1)))
-        if kind == "sb":
-            return StreamBuffer(int(match.group(1)))
-        return MultiWayStreamBuffer(int(match.group(1)), int(match.group(2)))
-    raise ConfigurationError(
-        f"unknown structure spec {spec!r}; expected none/mc<N>/vc<N>/sb<N>/sb<W>x<N>"
-    )
+    """Deprecated: build a helper structure from its legacy string code.
 
-
-def _default_stream_buffer(buffer: StreamBuffer) -> bool:
-    return (
-        buffer.max_run is None
-        and buffer.run_offsets is None
-        and not buffer.model_availability
-        and buffer.fetch_sink is None
-        and buffer.head_only
-        and not buffer.allocation_filter
+    Use :func:`repro.specs.build` with a
+    :class:`~repro.specs.StructureSpec` instead; this shim parses the
+    code into a spec and builds it.
+    """
+    warnings.warn(
+        "build_structure(code) is deprecated; use repro.specs.build("
+        "parse_structure_code(code)) or construct a StructureSpec directly",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return build_spec(parse_structure_code(spec))
 
 
 def spec_of(structure: Optional[L1Augmentation]) -> Optional[str]:
-    """Spec string for a structure built with the paper's defaults.
+    """Deprecated: legacy string code for a default-option structure.
 
-    Returns None when the structure carries non-default options (depth
-    tracking, availability modelling, ablation flags, ...) — those runs
-    cannot be described declaratively and must stay serial.
+    Use :func:`repro.specs.describe`, which returns a full
+    :class:`~repro.specs.StructureSpec` for *any* registered structure.
+    This shim preserves the old contract: the short code for structures
+    built with the paper's default options, None for everything else.
     """
-    if structure is None:
-        return "none"
-    if type(structure) is MissCache:
-        if structure.hit_depths is None and structure._store.policy is ReplacementPolicy.LRU:
-            return f"mc{structure.entries}"
+    warnings.warn(
+        "spec_of(structure) is deprecated; use repro.specs.describe(structure), "
+        "which covers non-default options too",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    try:
+        spec = describe(structure)
+    except SpecError:
         return None
-    if type(structure) is VictimCache:
-        if (
-            structure.hit_depths is None
-            and structure.swap_on_hit
-            and structure._store.policy is ReplacementPolicy.LRU
-        ):
-            return f"vc{structure.entries}"
-        return None
-    if type(structure) is StreamBuffer:
-        if _default_stream_buffer(structure):
-            return f"sb{structure.entries}"
-        return None
-    if type(structure) is MultiWayStreamBuffer:
-        ways = structure.way_buffers()
-        if all(_default_stream_buffer(b) for b in ways):
-            return f"sb{structure.ways}x{ways[0].entries}"
-        return None
-    return None
+    return _structure_code(spec)
 
 
 # -- jobs ---------------------------------------------------------------------
 
 
+def _require_trace(system: SystemSpec, job_kind: str) -> None:
+    if system.trace is None:
+        raise ConfigurationError(
+            f"{job_kind} needs a SystemSpec with a trace reference; "
+            "config-only specs cannot be executed"
+        )
+
+
 @dataclass(frozen=True)
 class LevelJob:
-    """One single-level replay of a trace side through a cache geometry."""
+    """One single-level replay: a :class:`~repro.specs.SystemSpec` point.
 
-    trace: TraceKey
-    side: str
-    size_bytes: int
-    line_size: int
-    structure: Optional[str] = None
-    warmup: int = 0
-    classify: bool = False
+    The spec's trace names the workload, its ``side``/geometry pick the
+    stream and cache, and its structure spec — *any* registered
+    structure, default options or not — is rebuilt in the worker.
+    """
+
+    system: SystemSpec
+
+    def __post_init__(self) -> None:
+        _require_trace(self.system, "LevelJob")
 
 
 @dataclass(frozen=True)
@@ -247,27 +186,37 @@ class LevelSummary:
 
 @dataclass(frozen=True)
 class EntrySweepJob:
-    """One single-pass miss/victim-cache entry sweep (Figures 3-3/3-5)."""
+    """One single-pass miss/victim-cache entry sweep (Figures 3-3/3-5).
 
-    trace: TraceKey
-    side: str
-    size_bytes: int
-    line_size: int
+    The sweep builds its own depth-tracking structure, so the system
+    spec contributes trace, side, and geometry only (its ``structure``
+    field is ignored).
+    """
+
+    system: SystemSpec
     kind: str = "miss"  # "miss" | "victim"
     max_entries: int = 15
+
+    def __post_init__(self) -> None:
+        _require_trace(self.system, "EntrySweepJob")
 
 
 @dataclass(frozen=True)
 class RunSweepJob:
-    """One stream-buffer run-length sweep (Figures 4-3/4-5)."""
+    """One stream-buffer run-length sweep (Figures 4-3/4-5).
 
-    trace: TraceKey
-    side: str
-    size_bytes: int
-    line_size: int
+    As with :class:`EntrySweepJob`, the sweep builds its own
+    offset-tracking buffer; the system spec contributes trace, side,
+    and geometry.
+    """
+
+    system: SystemSpec
     ways: int = 1
     entries: int = 4
     max_run: int = 16
+
+    def __post_init__(self) -> None:
+        _require_trace(self.system, "RunSweepJob")
 
 
 @dataclass(frozen=True)
@@ -297,14 +246,14 @@ Job = Union[LevelJob, EntrySweepJob, RunSweepJob, ExperimentJob]
 def execute_job(job: Job):
     """Run one job in the current process and return its picklable result."""
     if isinstance(job, LevelJob):
-        addresses = job.trace.trace().stream(job.side)
-        config = CacheConfig(job.size_bytes, job.line_size)
+        system = job.system
+        addresses = system.trace.trace().stream(system.side)
         run = run_level(
             addresses,
-            config,
-            build_structure(job.structure),
-            classify=job.classify,
-            warmup=job.warmup,
+            system.cache_config,
+            system.build_structure(),
+            classify=system.classify,
+            warmup=system.warmup,
         )
         stats = run.stats
         return LevelSummary(
@@ -313,21 +262,21 @@ def execute_job(job: Job):
             removed_misses=stats.removed_misses,
             misses_to_next_level=stats.misses_to_next_level,
             stream_stall_cycles=stats.stream_stall_cycles,
-            conflict_misses=run.conflicts if job.classify else None,
+            conflict_misses=run.conflicts if system.classify else None,
         )
     if isinstance(job, EntrySweepJob):
-        addresses = job.trace.trace().stream(job.side)
-        config = CacheConfig(job.size_bytes, job.line_size)
+        system = job.system
+        addresses = system.trace.trace().stream(system.side)
         sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}.get(job.kind)
         if sweep_fn is None:
             raise ConfigurationError(f"unknown entry-sweep kind {job.kind!r}")
-        return sweep_fn(addresses, config, job.max_entries)
+        return sweep_fn(addresses, system.cache_config, job.max_entries)
     if isinstance(job, RunSweepJob):
-        addresses = job.trace.trace().stream(job.side)
-        config = CacheConfig(job.size_bytes, job.line_size)
+        system = job.system
+        addresses = system.trace.trace().stream(system.side)
         return stream_buffer_run_sweep(
             addresses,
-            config,
+            system.cache_config,
             ways=job.ways,
             entries=job.entries,
             max_run=job.max_run,
@@ -375,7 +324,7 @@ def validate_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def _warm_worker(trace_keys: Tuple[TraceKey, ...]) -> None:
+def _warm_worker(trace_keys: Tuple[TraceSpec, ...]) -> None:
     """Worker initializer: materialize each distinct trace exactly once.
 
     Later jobs in this worker hit the process-level memoization in
@@ -385,11 +334,12 @@ def _warm_worker(trace_keys: Tuple[TraceKey, ...]) -> None:
         key.trace()
 
 
-def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceKey, ...]:
+def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceSpec, ...]:
     seen = {}
     for job in jobs:
-        key = getattr(job, "trace", None)
-        if isinstance(key, TraceKey):
+        system = getattr(job, "system", None)
+        key = system.trace if isinstance(system, SystemSpec) else None
+        if isinstance(key, TraceSpec):
             seen[key] = None
     return tuple(seen)
 

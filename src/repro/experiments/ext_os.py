@@ -19,7 +19,7 @@ stack and device-buffer data — and reports, per interrupt rate:
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..buffers.base import CompositeAugmentation
 from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from ..common.config import TimingConfig, baseline_system
+from ..common.config import baseline_system
 from ..hierarchy.performance import evaluate_performance
 from .base import TableResult
 from .figure_5_1 import improved_augmentations

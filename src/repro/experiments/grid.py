@@ -9,42 +9,72 @@ a designer points at their own workload after reading the paper.
 ::
 
     from repro.experiments.grid import GridSpec, sweep_grid
+    from repro.specs import VictimCacheSpec
 
     spec = GridSpec(
         cache_sizes_kb=[4, 8, 16],
         line_sizes=[16, 32],
-        structures={"none": None, "vc4": lambda: VictimCache(4)},
+        structures={"none": None, "vc4": VictimCacheSpec(4)},
     )
     table = sweep_grid(traces, spec, side="d")
+
+Structure axis values are declarative :class:`~repro.specs.StructureSpec`
+instances (preferred — any registered structure, any options, always
+parallelizable) or legacy zero-argument factories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..buffers.base import L1Augmentation
-from ..buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
-from ..buffers.victim_cache import VictimCache
 from ..common.config import CacheConfig
 from ..common.errors import ConfigurationError
 from ..common.stats import percent
+from ..specs import (
+    MultiWayStreamBufferSpec,
+    SpecError,
+    StreamBufferSpec,
+    StructureSpec,
+    VictimCacheSpec,
+    build,
+    describe,
+)
 from .base import TableResult
 from .runner import run_level
 
 __all__ = ["GridSpec", "sweep_grid", "default_structures"]
 
-StructureFactory = Optional[Callable[[], L1Augmentation]]
+#: A structure axis value: None (bare baseline), a declarative
+#: :class:`~repro.specs.StructureSpec` (preferred — always job-able), or
+#: a zero-argument factory returning a live structure (legacy style;
+#: job-able only when the built structure is spec-describable).
+StructureFactory = Union[None, StructureSpec, Callable[[], L1Augmentation]]
 
 
 def default_structures() -> Dict[str, StructureFactory]:
     """The paper's §5 shortlist as a ready-made structure axis."""
     return {
         "none": None,
-        "vc4": lambda: VictimCache(4),
-        "sb1x4": lambda: StreamBuffer(4),
-        "sb4x4": lambda: MultiWayStreamBuffer(4, 4),
+        "vc4": VictimCacheSpec(4),
+        "sb1x4": StreamBufferSpec(4),
+        "sb4x4": MultiWayStreamBufferSpec(4, 4),
     }
+
+
+def _build_structure_value(value: StructureFactory) -> Optional[L1Augmentation]:
+    """Live structure for one axis value (spec, factory, or None)."""
+    if value is None or isinstance(value, StructureSpec):
+        return build(value)
+    return value()
+
+
+def _spec_of_value(value: StructureFactory) -> Optional[StructureSpec]:
+    """Declarative spec for one axis value, raising SpecError if none exists."""
+    if value is None or isinstance(value, StructureSpec):
+        return value
+    return describe(value())
 
 
 @dataclass
@@ -70,17 +100,20 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
     """Grid rows via the engine, or None when the sweep is not job-able.
 
     Every grid point must be expressible as a picklable job: each trace
-    needs a registry rebuild recipe (:meth:`TraceKey.of`) and each
-    structure factory must produce a spec-describable structure
-    (:func:`spec_of`).  Anything else — hand-built traces, ablation
-    structures with exotic options — falls back to the serial path,
-    surfaced as a :class:`~repro.telemetry.core.ParallelFallbackWarning`
-    plus a ``fallback_reason`` entry on the active telemetry scope.
+    needs a registry rebuild recipe (:meth:`~repro.specs.TraceSpec.of`)
+    and each structure axis value must be declarative — a
+    :class:`~repro.specs.StructureSpec`, or a factory whose product
+    :func:`~repro.specs.describe` can turn into one.  Anything else —
+    hand-built traces, structures holding live callables, unregistered
+    classes — falls back to the serial path, surfaced as a
+    :class:`~repro.telemetry.core.ParallelFallbackWarning` plus a
+    ``fallback_reason`` entry on the active telemetry scope.
     """
+    from ..specs import SystemSpec, TraceSpec
     from ..telemetry.core import record_fallback
-    from .engine import LevelJob, TraceKey, run_jobs, spec_of
+    from .engine import LevelJob, run_jobs
 
-    trace_keys = [TraceKey.of(trace) for trace in traces]
+    trace_keys = [TraceSpec.of(trace) for trace in traces]
     if any(key is None for key in trace_keys):
         unkeyed = [trace.name for trace, key in zip(traces, trace_keys) if key is None]
         record_fallback(
@@ -90,13 +123,13 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
         )
         return None
     structure_specs = {}
-    for label, factory in spec.structures.items():
-        structure_specs[label] = spec_of(factory() if factory is not None else None)
-        if structure_specs[label] is None:
+    for label, value in spec.structures.items():
+        try:
+            structure_specs[label] = _spec_of_value(value)
+        except SpecError as exc:
             record_fallback(
                 "sweep_grid",
-                f"structure {label!r} carries non-default options the engine "
-                "cannot describe as a job spec",
+                f"structure {label!r} cannot be described as a declarative spec: {exc}",
                 stacklevel=4,
             )
             return None
@@ -105,15 +138,17 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
     for trace, key in zip(traces, trace_keys):
         for size_kb in spec.cache_sizes_kb:
             for line_size in spec.line_sizes:
+                config = CacheConfig(size_kb * 1024, line_size)
                 for label in spec.structures:
                     job_list.append(
                         LevelJob(
-                            trace=key,
-                            side=side,
-                            size_bytes=size_kb * 1024,
-                            line_size=line_size,
-                            structure=structure_specs[label],
-                            warmup=spec.warmup,
+                            SystemSpec.for_level(
+                                key,
+                                config,
+                                side=side,
+                                structure=structure_specs[label],
+                                warmup=spec.warmup,
+                            )
                         )
                     )
                     points.append((trace.name, size_kb, line_size, label))
@@ -163,8 +198,8 @@ def sweep_grid(
             for size_kb in spec.cache_sizes_kb:
                 for line_size in spec.line_sizes:
                     config = CacheConfig(size_kb * 1024, line_size)
-                    for label, factory in spec.structures.items():
-                        augmentation = factory() if factory is not None else None
+                    for label, value in spec.structures.items():
+                        augmentation = _build_structure_value(value)
                         run = run_level(
                             addresses, config, augmentation, warmup=spec.warmup
                         )

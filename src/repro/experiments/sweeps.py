@@ -169,20 +169,18 @@ def batch_entry_sweeps(
     :class:`~repro.telemetry.core.ParallelFallbackWarning` and recorded
     on the active telemetry scope.
     """
-    from .engine import EntrySweepJob, TraceKey, resolve_jobs, run_jobs
+    from ..specs import SystemSpec, TraceSpec
+    from .engine import EntrySweepJob, resolve_jobs, run_jobs
 
     traces = list(traces)
     pairs = [(side, trace) for side in sides for trace in traces]
-    keys = {id(trace): TraceKey.of(trace) for trace in traces}
+    keys = {id(trace): TraceSpec.of(trace) for trace in traces}
     sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}[kind]
     if resolve_jobs(jobs) > 1:
         if all(key is not None for key in keys.values()):
             job_list = [
                 EntrySweepJob(
-                    trace=keys[id(trace)],
-                    side=side,
-                    size_bytes=config.size_bytes,
-                    line_size=config.line_size,
+                    system=SystemSpec.for_level(keys[id(trace)], config, side=side),
                     kind=kind,
                     max_entries=max_entries,
                 )
@@ -218,19 +216,17 @@ def batch_run_sweeps(
 
     Serial-fallback semantics match :func:`batch_entry_sweeps`.
     """
-    from .engine import RunSweepJob, TraceKey, resolve_jobs, run_jobs
+    from ..specs import SystemSpec, TraceSpec
+    from .engine import RunSweepJob, resolve_jobs, run_jobs
 
     traces = list(traces)
     pairs = [(side, trace) for side in sides for trace in traces]
-    keys = {id(trace): TraceKey.of(trace) for trace in traces}
+    keys = {id(trace): TraceSpec.of(trace) for trace in traces}
     if resolve_jobs(jobs) > 1:
         if all(key is not None for key in keys.values()):
             job_list = [
                 RunSweepJob(
-                    trace=keys[id(trace)],
-                    side=side,
-                    size_bytes=config.size_bytes,
-                    line_size=config.line_size,
+                    system=SystemSpec.for_level(keys[id(trace)], config, side=side),
                     ways=ways,
                     entries=entries,
                     max_run=max_run,

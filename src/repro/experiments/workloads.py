@@ -18,19 +18,35 @@ immutable replay buffers, shared by reference between experiments in the
 same process (and, on fork-based platforms, inherited copy-on-write by
 engine workers).  A different ``(name, scale, seed)`` is a different
 cache entry, so changing scale or seed always rebuilds.
+
+The memo is a bounded LRU: long heterogeneous sweeps (many scales or
+seeds per worker) evict the least recently used trace instead of growing
+worker memory without limit.  The cap defaults to holding one full
+benchmark suite plus an extension and can be tuned with the
+``REPRO_TRACE_CACHE`` environment variable (minimum 1).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 from ..traces.registry import BENCHMARK_NAMES, build_trace
 from ..traces.trace import MaterializedTrace
 
-__all__ = ["suite", "materialized_trace", "default_scale", "BENCHMARK_NAMES"]
+__all__ = [
+    "suite",
+    "materialized_trace",
+    "default_scale",
+    "trace_cache_cap",
+    "BENCHMARK_NAMES",
+]
 
-_TRACE_CACHE: Dict[Tuple[str, Optional[int], int], MaterializedTrace] = {}
+#: Default cap: the six benchmarks plus extension traces at one scale.
+DEFAULT_TRACE_CACHE_CAP = 8
+
+_TRACE_CACHE: "OrderedDict[Tuple[str, Optional[int], int], MaterializedTrace]" = OrderedDict()
 
 
 def default_scale() -> Optional[int]:
@@ -41,16 +57,37 @@ def default_scale() -> Optional[int]:
     return int(raw)
 
 
+def trace_cache_cap() -> int:
+    """Trace-memo LRU capacity from ``REPRO_TRACE_CACHE`` (minimum 1)."""
+    raw = os.environ.get("REPRO_TRACE_CACHE", "")
+    if not raw:
+        return DEFAULT_TRACE_CACHE_CAP
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return DEFAULT_TRACE_CACHE_CAP
+
+
 def materialized_trace(
     name: str, scale: Optional[int] = None, seed: int = 0
 ) -> MaterializedTrace:
-    """One materialized benchmark trace, memoized per (name, scale, seed)."""
+    """One materialized benchmark trace, memoized per (name, scale, seed).
+
+    The memo holds at most :func:`trace_cache_cap` traces, evicting the
+    least recently used entry when a new trace would overflow it.
+    """
     if scale is None:
         scale = default_scale()
     key = (name, scale, seed)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        trace = _TRACE_CACHE[key] = build_trace(name, scale, seed).materialize()
+        trace = build_trace(name, scale, seed).materialize()
+        cap = trace_cache_cap()
+        while len(_TRACE_CACHE) >= cap:
+            _TRACE_CACHE.popitem(last=False)
+        _TRACE_CACHE[key] = trace
+    else:
+        _TRACE_CACHE.move_to_end(key)
     return trace
 
 

@@ -1,0 +1,52 @@
+"""Declarative spec layer: frozen, picklable descriptions of runs.
+
+``StructureSpec`` variants name every helper structure the paper
+studies (miss cache, victim cache, stream buffers, stride buffers,
+composites); ``TraceSpec`` names a registry trace; ``SystemSpec`` binds
+trace + :class:`~repro.common.config.SystemConfig` + structure into one
+value that fully determines a simulation point.  ``build``/``describe``
+give a lossless spec ⇄ live-object round trip, and canonical JSON makes
+specs the stable currency of the parallel engine and telemetry records.
+"""
+
+from .structures import (
+    CompositeSpec,
+    MissCacheSpec,
+    MultiWayStreamBufferSpec,
+    MultiWayStrideBufferSpec,
+    SpecError,
+    StreamBufferSpec,
+    StrideBufferSpec,
+    StructureSpec,
+    VictimCacheSpec,
+    build,
+    describe,
+    parse_structure_code,
+    register_structure,
+    registered_kinds,
+    structure_code,
+    structure_from_dict,
+)
+from .system import SystemSpec, TraceSpec, spec_hash
+
+__all__ = [
+    "SpecError",
+    "StructureSpec",
+    "MissCacheSpec",
+    "VictimCacheSpec",
+    "StreamBufferSpec",
+    "MultiWayStreamBufferSpec",
+    "StrideBufferSpec",
+    "MultiWayStrideBufferSpec",
+    "CompositeSpec",
+    "register_structure",
+    "registered_kinds",
+    "build",
+    "describe",
+    "structure_from_dict",
+    "parse_structure_code",
+    "structure_code",
+    "TraceSpec",
+    "SystemSpec",
+    "spec_hash",
+]

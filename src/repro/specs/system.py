@@ -1,0 +1,198 @@
+"""System-level specs: trace reference + system config + structure.
+
+:class:`TraceSpec` names a registered workload trace by (name, scale,
+seed) — the same key the parallel engine uses to memoize materialized
+traces in worker processes.  :class:`SystemSpec` combines a trace
+reference, a :class:`~repro.common.config.SystemConfig`, and an optional
+:class:`~repro.specs.structures.StructureSpec` into one frozen,
+picklable value that fully determines a simulation run.  Canonical JSON
+via :meth:`SystemSpec.to_json` is what telemetry hashes and embeds, so a
+run record carries everything needed to replay the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional
+
+from ..common.config import BASELINE_L2_LINE, CacheConfig, SystemConfig, baseline_system
+from ..common.errors import ConfigurationError
+from .structures import SpecError, StructureSpec, describe, structure_from_dict
+
+__all__ = ["TraceSpec", "SystemSpec", "spec_hash"]
+
+_SIDES = ("i", "d")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Reference to a registry workload trace: (name, scale, seed).
+
+    ``scale=None`` means "the ambient default scale" — resolved by
+    :func:`repro.experiments.workloads.default_scale` at materialization
+    time, exactly like the engine's per-worker memo key.
+    """
+
+    name: str
+    scale: Optional[int] = None
+    seed: int = 0
+
+    @classmethod
+    def of(cls, trace) -> Optional["TraceSpec"]:
+        """TraceSpec for a materialized trace, or None if it is hand-made.
+
+        Only traces built through the workload registry can be renamed
+        by reference; ad-hoc traces (e.g. in unit tests) return None and
+        force callers onto the serial path.
+        """
+        meta = getattr(trace, "meta", None)
+        if meta is None or not getattr(meta, "scale", 0):
+            return None
+        from ..common.errors import UnknownWorkloadError
+        from ..traces.registry import get_workload
+
+        try:
+            get_workload(meta.name)
+        except UnknownWorkloadError:
+            return None
+        return cls(name=meta.name, scale=meta.scale, seed=getattr(meta, "seed", 0))
+
+    def trace(self):
+        """Materialize (memoized per process) the referenced trace."""
+        from ..experiments.workloads import materialized_trace
+
+        return materialized_trace(self.name, scale=self.scale, seed=self.seed)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "scale": self.scale, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "TraceSpec":
+        return cls(
+            name=payload["name"],
+            scale=payload.get("scale"),
+            seed=payload.get("seed", 0),
+        )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One fully-determined simulation point.
+
+    ``trace`` may be None for specs that describe configuration only
+    (e.g. the CLI's run-record spec, where the trace varies per
+    experiment); such specs still hash canonically but cannot be
+    materialized into a run.
+    """
+
+    trace: Optional[TraceSpec] = None
+    config: SystemConfig = field(default_factory=baseline_system)
+    structure: Optional[StructureSpec] = None
+    side: str = "d"
+    warmup: int = 0
+    classify: bool = False
+
+    def __post_init__(self) -> None:
+        if self.side not in _SIDES:
+            raise ConfigurationError(f"side must be one of {_SIDES}, got {self.side!r}")
+        if self.warmup < 0:
+            raise ConfigurationError("warmup must be non-negative")
+        if self.structure is not None and not isinstance(self.structure, StructureSpec):
+            raise SpecError(
+                f"structure must be a StructureSpec or None, got {type(self.structure).__name__}"
+            )
+
+    @property
+    def cache_config(self) -> CacheConfig:
+        """The L1 geometry this spec's side replays against."""
+        return self.config.icache if self.side == "i" else self.config.dcache
+
+    @classmethod
+    def for_level(
+        cls,
+        trace,
+        cache_config: CacheConfig,
+        side: str = "d",
+        structure=None,
+        warmup: int = 0,
+        classify: bool = False,
+    ) -> Optional["SystemSpec"]:
+        """Spec for a single-level replay, or None for an unkeyed trace.
+
+        ``structure`` may be a live structure (described on the spot) or
+        already a spec.  The L2 line size is widened to the L1 line when
+        the sweep's geometry exceeds the baseline L2 line — single-level
+        replays never touch the L2, so only the config invariant
+        (L2 line >= L1 line) matters.
+        """
+        trace_spec = trace if isinstance(trace, TraceSpec) else TraceSpec.of(trace)
+        if trace_spec is None:
+            return None
+        structure_spec = (
+            structure if structure is None or isinstance(structure, StructureSpec)
+            else describe(structure)
+        )
+        base = baseline_system()
+        config = replace(
+            base,
+            icache=cache_config,
+            dcache=cache_config,
+            l2=base.l2.with_line_size(max(BASELINE_L2_LINE, cache_config.line_size)),
+        )
+        return cls(
+            trace=trace_spec,
+            config=config,
+            structure=structure_spec,
+            side=side,
+            warmup=warmup,
+            classify=classify,
+        )
+
+    def build_structure(self):
+        """Live structure for this point (None for the bare baseline)."""
+        from .structures import build
+
+        return build(self.structure)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "trace": None if self.trace is None else self.trace.as_dict(),
+            "config": self.config.as_dict(),
+            "structure": None if self.structure is None else self.structure.as_dict(),
+            "side": self.side,
+            "warmup": self.warmup,
+            "classify": self.classify,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: key-sorted, minimal separators."""
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "SystemSpec":
+        trace = payload.get("trace")
+        structure = payload.get("structure")
+        return cls(
+            trace=None if trace is None else TraceSpec.from_dict(trace),
+            config=SystemConfig.from_dict(payload["config"]),
+            structure=None if structure is None else structure_from_dict(structure),
+            side=payload.get("side", "d"),
+            warmup=payload.get("warmup", 0),
+            classify=payload.get("classify", False),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SystemSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def spec_hash(spec: SystemSpec) -> str:
+    """Short stable hash of a spec's canonical JSON.
+
+    Unlike hashing ``repr(config)``, this is independent of field
+    declaration order and Python version, and every spec field — trace,
+    geometry, structure options, side, warmup — perturbs it.
+    """
+    return hashlib.sha256(spec.to_json().encode("utf-8")).hexdigest()[:16]

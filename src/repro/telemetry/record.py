@@ -8,13 +8,22 @@ importing this package:
 
 .. code-block:: json
 
-    {"schema_version": 1, "run": "figure_3_3", "trace": null,
-     "scale": 1500, "seed": 0, "config_hash": "9f2c...", "jobs": 4,
-     "mode": "parallel", "wall_time_s": 1.93, "sim_wall_time_s": 1.81,
+    {"schema_version": 2, "run": "figure_3_3", "trace": null,
+     "scale": 1500, "seed": 0, "config_hash": "9f2c...",
+     "spec": {"trace": null, "config": {"...": "..."}, "structure": null,
+              "side": "d", "warmup": 0, "classify": false},
+     "jobs": 4, "mode": "parallel", "wall_time_s": 1.93,
+     "sim_wall_time_s": 1.81,
      "references": 612000, "references_per_sec": 338121.5,
      "system_runs": 0, "level_runs": 12,
      "l1i": {}, "l1d": {}, "l2": {}, "level": {"accesses": 612000},
      "engine": {"job_batches": [], "fallbacks": []}}
+
+Schema version 2 embeds the run's :class:`~repro.specs.SystemSpec` (as
+its canonical dict) and derives ``config_hash`` from the spec's
+canonical JSON, so a record is replayable from itself:
+``SystemSpec.from_dict(record.spec)`` rebuilds the exact configuration
+that produced it, and equal hashes mean equal specs field-for-field.
 
 Counter groups (``l1i``/``l1d``/``l2`` from full-system runs,
 ``level`` from single-level replays) aggregate every simulation executed
@@ -47,7 +56,7 @@ __all__ = [
     "read_records",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Required top-level fields and the types their values must have.
 _SCHEMA: Dict[str, tuple] = {
@@ -57,6 +66,7 @@ _SCHEMA: Dict[str, tuple] = {
     "scale": (int, type(None)),
     "seed": (int,),
     "config_hash": (str,),
+    "spec": (dict, type(None)),
     "jobs": (int,),
     "mode": (str,),
     "wall_time_s": (int, float),
@@ -78,12 +88,19 @@ _MODES = ("serial", "parallel")
 def config_hash(config: object) -> str:
     """Stable short hash of a configuration object.
 
-    Dataclasses (``SystemConfig``, ``CacheConfig``, ...) hash their
-    field dict; anything else hashes its ``repr``.  The hash identifies
-    "same configuration" across runs and machines — it is not
-    cryptographic provenance.
+    Objects with canonical JSON (:class:`~repro.specs.SystemSpec`,
+    :class:`~repro.specs.StructureSpec`) hash that JSON, which is
+    key-sorted and process/version independent — equal hashes mean
+    field-for-field equal specs.  Plain dataclasses
+    (``SystemConfig``, ``CacheConfig``, ...) hash their field dict;
+    anything else hashes its ``repr``.  The hash identifies "same
+    configuration" across runs and machines — it is not cryptographic
+    provenance.
     """
-    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+    to_json = getattr(config, "to_json", None)
+    if callable(to_json):
+        payload = to_json()
+    elif dataclasses.is_dataclass(config) and not isinstance(config, type):
         payload = json.dumps(dataclasses.asdict(config), sort_keys=True, default=repr)
     else:
         payload = repr(config)
@@ -103,6 +120,10 @@ class RunRecord:
     wall_time_s: float
     trace: Optional[str] = None
     scale: Optional[int] = None
+    #: Canonical dict of the run's SystemSpec (schema v2); None when the
+    #: emitter had no spec to attach.  ``SystemSpec.from_dict(spec)``
+    #: rebuilds the exact configuration that produced the record.
+    spec: Optional[Dict[str, object]] = None
     sim_wall_time_s: float = 0.0
     references: int = 0
     references_per_sec: float = 0.0
@@ -137,14 +158,21 @@ def build_run_record(
     scale: Optional[int] = None,
     seed: int = 0,
     trace: Optional[str] = None,
+    spec=None,
 ) -> RunRecord:
-    """Fold a finished scope into a :class:`RunRecord`."""
+    """Fold a finished scope into a :class:`RunRecord`.
+
+    When *spec* (a :class:`~repro.specs.SystemSpec`) is given, it is
+    embedded in the record and the config hash is derived from its
+    canonical JSON, superseding *config*.
+    """
     return RunRecord(
         run=run,
         trace=trace,
         scale=scale,
         seed=seed,
-        config_hash=config_hash(config),
+        config_hash=config_hash(spec if spec is not None else config),
+        spec=None if spec is None else spec.as_dict(),
         jobs=jobs,
         mode="parallel" if jobs > 1 else "serial",
         wall_time_s=round(wall_time_s, 6),

@@ -1,7 +1,5 @@
 """Unit and property tests for 3C miss classification (paper §3)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

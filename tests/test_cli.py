@@ -1,7 +1,5 @@
 """Tests for the repro-experiments command-line interface."""
 
-import pytest
-
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.cli import build_parser, main
 

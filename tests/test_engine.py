@@ -31,6 +31,7 @@ from repro.experiments.engine import (
     spec_of,
     validate_jobs,
 )
+from repro.specs import SystemSpec, VictimCacheSpec
 from repro.telemetry.core import ParallelFallbackWarning
 from repro.experiments.grid import GridSpec, sweep_grid
 from repro.experiments.sweeps import (
@@ -67,32 +68,52 @@ class TestTraceKey:
 
 
 class TestStructureSpecs:
+    """The legacy string codes survive as deprecated shims over the spec layer."""
+
     @pytest.mark.parametrize("spec", ["none", "mc4", "vc4", "sb4", "sb4x4", None])
     def test_roundtrip(self, spec):
-        structure = build_structure(spec)
+        with pytest.deprecated_call():
+            structure = build_structure(spec)
         expected = "none" if spec is None else spec
-        assert spec_of(structure) == expected
+        with pytest.deprecated_call():
+            assert spec_of(structure) == expected
 
     def test_unknown_spec_raises(self):
-        with pytest.raises(ConfigurationError, match="structure spec"):
+        with pytest.raises(ConfigurationError, match="structure spec"), pytest.deprecated_call():
             build_structure("warp9")
 
-    def test_non_default_structures_have_no_spec(self):
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_non_default_structures_have_no_short_code(self):
+        # describable as specs (see test_specs.py), but outside the old
+        # string scheme — the shim keeps returning None for them.
         assert spec_of(MissCache(4, track_depths=True)) is None
         assert spec_of(VictimCache(4, swap_on_hit=False)) is None
         assert spec_of(VictimCache(4, policy=ReplacementPolicy.FIFO)) is None
         assert spec_of(StreamBuffer(4, allocation_filter=True)) is None
         assert spec_of(MultiWayStreamBuffer(4, 4, model_availability=True)) is None
 
+    @pytest.mark.filterwarnings("ignore::DeprecationWarning")
+    def test_undescribable_structure_has_no_short_code(self):
+        assert spec_of(StreamBuffer(4, fetch_sink=lambda line: None)) is None
+
     def test_jobs_are_picklable(self):
         key = TraceKey("ccom", SCALE, 0)
         for job in (
-            LevelJob(key, "d", 4096, 16, "vc4"),
-            EntrySweepJob(key, "i", 4096, 16, "victim"),
-            RunSweepJob(key, "d", 4096, 16, ways=4),
+            LevelJob(SystemSpec.for_level(key, CONFIG, side="d", structure=VictimCacheSpec(4))),
+            LevelJob(
+                SystemSpec.for_level(
+                    key, CONFIG, side="d", structure=VictimCacheSpec(4, policy="fifo")
+                )
+            ),
+            EntrySweepJob(SystemSpec.for_level(key, CONFIG, side="i"), kind="victim"),
+            RunSweepJob(SystemSpec.for_level(key, CONFIG, side="d"), ways=4),
             ExperimentJob("figure_3_3", SCALE, 0),
         ):
             assert pickle.loads(pickle.dumps(job)) == job
+
+    def test_jobs_require_a_trace_reference(self):
+        with pytest.raises(ConfigurationError, match="trace"):
+            LevelJob(SystemSpec(trace=None))
 
 
 class TestJobsResolution:
@@ -170,13 +191,26 @@ class TestFallbackSurfacing:
             sweep_grid(self._toy_traces(), spec, side="d", jobs=4)
 
     def test_grid_warns_on_undescribable_structure(self, tiny_suite):
+        # A live fetch_sink callable cannot be serialized into a spec.
         spec = GridSpec(
             cache_sizes_kb=[4],
             line_sizes=[16],
-            structures={"vc4-noswap": lambda: VictimCache(4, swap_on_hit=False)},
+            structures={"sb-sink": lambda: StreamBuffer(4, fetch_sink=lambda line: None)},
         )
-        with pytest.warns(ParallelFallbackWarning, match="vc4-noswap"):
+        with pytest.warns(ParallelFallbackWarning, match="sb-sink"):
             sweep_grid(tiny_suite[:1], spec, side="d", jobs=4)
+
+    def test_grid_runs_non_default_specs_in_parallel(self, tiny_suite):
+        import warnings
+
+        spec = GridSpec(
+            cache_sizes_kb=[4],
+            line_sizes=[16],
+            structures={"vc4-fifo": VictimCacheSpec(4, policy="fifo")},
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            sweep_grid(tiny_suite[:1], spec, side="d", jobs=2)
 
     def test_batch_sweeps_warn_on_handmade_trace(self):
         with pytest.warns(ParallelFallbackWarning, match="toy"):
@@ -207,7 +241,11 @@ class TestLevelJobEquivalence:
         from repro.experiments.runner import run_level
 
         trace = tiny_suite[0]
-        job = LevelJob(TraceKey.of(trace), "d", 4096, 16, "vc4", classify=True)
+        job = LevelJob(
+            SystemSpec.for_level(
+                trace, CONFIG, side="d", structure=VictimCacheSpec(4), classify=True
+            )
+        )
         summary = execute_job(job)
         run = run_level(trace.stream("d"), CONFIG, VictimCache(4), classify=True)
         assert summary.accesses == run.stats.accesses
@@ -218,10 +256,10 @@ class TestLevelJobEquivalence:
 
     def test_run_jobs_parallel_order_and_values(self, tiny_suite):
         jobs = [
-            LevelJob(TraceKey.of(trace), side, 4096, 16, structure)
+            LevelJob(SystemSpec.for_level(trace, CONFIG, side=side, structure=structure))
             for trace in tiny_suite[:3]
             for side in ("i", "d")
-            for structure in ("none", "vc4")
+            for structure in (None, VictimCacheSpec(4))
         ]
         serial = run_jobs(jobs, jobs=1)
         parallel = run_jobs(jobs, jobs=4)
@@ -250,11 +288,24 @@ class TestSweepGridDeterminism:
         spec = GridSpec(
             cache_sizes_kb=[4],
             line_sizes=[16],
-            structures={"vc4-noswap": lambda: VictimCache(4, swap_on_hit=False)},
+            structures={"sb-sink": lambda: StreamBuffer(4, fetch_sink=lambda line: None)},
         )
         serial = sweep_grid(tiny_suite[:2], spec, side="d", jobs=1)
         with pytest.warns(ParallelFallbackWarning):
             parallel = sweep_grid(tiny_suite[:2], spec, side="d", jobs=4)
+        assert serial.rows == parallel.rows
+
+    def test_non_default_spec_grid_parallel_identical_to_serial(self, tiny_suite):
+        spec = GridSpec(
+            cache_sizes_kb=[4],
+            line_sizes=[16],
+            structures={
+                "vc4-noswap": VictimCacheSpec(4, swap_on_hit=False),
+                "vc4-fifo": VictimCacheSpec(4, policy="fifo"),
+            },
+        )
+        serial = sweep_grid(tiny_suite[:2], spec, side="d", jobs=1)
+        parallel = sweep_grid(tiny_suite[:2], spec, side="d", jobs=4)
         assert serial.rows == parallel.rows
 
 

@@ -5,9 +5,6 @@ components) with arbitrary access streams and check the accounting
 identities every experiment silently relies on.
 """
 
-import random
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

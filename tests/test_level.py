@@ -5,7 +5,6 @@ import pytest
 from repro.buffers.base import CompositeAugmentation, NullAugmentation
 from repro.buffers.stream_buffer import StreamBuffer
 from repro.buffers.victim_cache import VictimCache
-from repro.common.config import CacheConfig
 from repro.common.types import AccessOutcome
 from repro.hierarchy.level import CacheLevel, LevelStats
 

@@ -1,10 +1,7 @@
 """Unit tests for the miss cache (paper §3.1)."""
 
-import pytest
-
 from repro.buffers.miss_cache import MissCache
 from repro.caches.fully_associative import ReplacementPolicy
-from repro.common.config import CacheConfig
 from repro.common.types import AccessOutcome
 from repro.hierarchy.level import CacheLevel
 

@@ -8,7 +8,6 @@ weight to be stable across seeds at these tolerances.
 import pytest
 
 from repro.buffers.base import CompositeAugmentation
-from repro.buffers.miss_cache import MissCache
 from repro.buffers.stream_buffer import MultiWayStreamBuffer, StreamBuffer
 from repro.buffers.victim_cache import VictimCache
 from repro.common.config import CacheConfig

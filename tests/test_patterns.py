@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from repro.common.types import IFETCH, LOAD, STORE
+from repro.common.types import IFETCH, STORE
 from repro.traces.patterns import (
     Phase,
     ProcedureFabric,

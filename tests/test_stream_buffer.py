@@ -3,7 +3,6 @@
 import pytest
 
 from repro.buffers.stream_buffer import StreamBuffer
-from repro.common.config import CacheConfig
 from repro.common.errors import ConfigurationError
 from repro.common.types import AccessOutcome
 from repro.hierarchy.level import CacheLevel

@@ -7,9 +7,8 @@ big structure plus a depth histogram — against brute-force per-size
 simulation, on both random streams and the real synthetic workloads.
 """
 
-import random
+import warnings
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -23,6 +22,7 @@ from repro.experiments.sweeps import (
     stream_buffer_run_sweep,
     victim_cache_sweep,
 )
+from repro.telemetry.core import ParallelFallbackWarning
 
 lines = st.integers(min_value=0, max_value=2**14)
 CONFIG = CacheConfig(1024, 16)  # 64 sets: conflicts are easy to provoke
@@ -112,6 +112,55 @@ class TestRunLengthSweep:
         sweep = stream_buffer_run_sweep([], CONFIG, ways=1)
         assert sweep.total_misses == 0
         assert sweep.percent_removed(5) == 0.0
+
+
+class TestSpecSweepParallelEquivalence:
+    """Non-default structure options fan out over worker processes with
+    zero fallbacks.  Under the old string-code scheme any structure away
+    from the paper's defaults silently dropped to the serial path; with
+    declarative specs the same sweep runs under ``jobs=4`` and is
+    row-for-row identical to the serial result."""
+
+    def _grid_spec(self):
+        from repro.experiments.grid import GridSpec
+        from repro.specs import StrideBufferSpec, StreamBufferSpec, VictimCacheSpec
+
+        return GridSpec(
+            cache_sizes_kb=[4, 8],
+            line_sizes=[16],
+            structures={
+                "vc4-fifo": VictimCacheSpec(4, policy="fifo"),
+                "vc4-noswap": VictimCacheSpec(4, swap_on_hit=False),
+                "sb6-run8": StreamBufferSpec(entries=6, max_run=8),
+                "stride2x4": StrideBufferSpec(entries=4, max_stride=64, min_stride=2),
+            },
+        )
+
+    def test_parallel_rows_identical_to_serial_with_zero_fallbacks(self, small_suite):
+        from repro.experiments.grid import sweep_grid
+
+        traces = small_suite[:3]
+        spec = self._grid_spec()
+        serial = sweep_grid(traces, spec, side="d", jobs=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            parallel = sweep_grid(traces, spec, side="d", jobs=4)
+        assert parallel.rows == serial.rows
+        assert len(parallel.rows) == len(traces) * spec.num_points
+
+    def test_batch_entry_sweeps_parallel_identical_to_serial(self, small_suite):
+        from repro.experiments.sweeps import batch_entry_sweeps
+
+        traces = small_suite[:2]
+        serial = batch_entry_sweeps(traces, CacheConfig(4096, 16), kind="victim", jobs=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ParallelFallbackWarning)
+            parallel = batch_entry_sweeps(
+                traces, CacheConfig(4096, 16), kind="victim", jobs=4
+            )
+        assert [s.hits_by_entries for s in parallel] == [
+            s.hits_by_entries for s in serial
+        ]
 
 
 class TestCappedRunBuffers:

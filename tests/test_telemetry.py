@@ -18,11 +18,11 @@ from repro.experiments.engine import LevelJob, TraceKey, run_jobs
 from repro.experiments.runner import run_level
 from repro.experiments.sweeps import batch_entry_sweeps, batch_run_sweeps
 from repro.hierarchy.system import MemorySystem
+from repro.specs import SystemSpec, VictimCacheSpec
 from repro.telemetry import (
     Counter,
     MetricsScope,
     ParallelFallbackWarning,
-    RunRecord,
     Timer,
     append_record,
     build_run_record,
@@ -147,7 +147,10 @@ class TestSimulationObservation:
 class TestEngineObservation:
     def test_run_jobs_records_batch(self, trace):
         key = TraceKey.of(trace)
-        jobs = [LevelJob(key, "d", 4096, 16, "none"), LevelJob(key, "i", 4096, 16, "none")]
+        jobs = [
+            LevelJob(SystemSpec.for_level(key, CONFIG, side="d")),
+            LevelJob(SystemSpec.for_level(key, CONFIG, side="i")),
+        ]
         with scoped() as scope:
             run_jobs(jobs, jobs=1)
         assert len(scope.job_batches) == 1
@@ -158,7 +161,7 @@ class TestEngineObservation:
 
     def test_run_jobs_parallel_progress_heartbeats(self, trace):
         key = TraceKey.of(trace)
-        jobs = [LevelJob(key, side, 4096, 16, "none") for side in ("i", "d")]
+        jobs = [LevelJob(SystemSpec.for_level(key, CONFIG, side=side)) for side in ("i", "d")]
         updates = []
         results = run_jobs(jobs, jobs=2, progress=updates.append, heartbeat=0.05)
         assert len(results) == 2
@@ -266,6 +269,23 @@ class TestRunRecords:
         assert config_hash(baseline_system()) == config_hash(baseline_system())
         assert config_hash(CacheConfig(4096, 16)) != config_hash(CacheConfig(8192, 16))
 
+    def test_record_embeds_replayable_spec(self):
+        spec = SystemSpec(trace=None, structure=VictimCacheSpec(4, policy="fifo"))
+        record = build_run_record(
+            MetricsScope(), "unit", baseline_system(), 0.1, spec=spec
+        )
+        validate_record(record.as_dict())
+        assert record.config_hash == config_hash(spec)
+        # The record alone suffices to rebuild the exact configuration.
+        assert SystemSpec.from_dict(record.spec) == spec
+
+    def test_spec_hash_supersedes_config(self):
+        spec = SystemSpec(trace=None)
+        with_spec = build_run_record(MetricsScope(), "x", baseline_system(), 0.1, spec=spec)
+        without = build_run_record(MetricsScope(), "x", baseline_system(), 0.1)
+        assert with_spec.config_hash == config_hash(spec)
+        assert with_spec.config_hash != without.config_hash
+
     def test_read_records_rejects_garbage(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text("not json\n")
@@ -286,6 +306,8 @@ class TestCliEmitMetrics:
             validate_record(json.loads(record.to_json()))
             assert record.mode == "serial"
             assert record.scale == 300
+            # Schema v2: every CLI record embeds a replayable config spec.
+            assert SystemSpec.from_dict(record.spec).config == baseline_system()
         # figure_3_3 simulates; its record carries references and counters.
         assert records[1].references > 0
         assert records[1].level_runs > 0

@@ -1,7 +1,5 @@
 """Tests for the cycle-approximate timeline simulator."""
 
-import pytest
-
 from repro.buffers.stream_buffer import StreamBuffer
 from repro.buffers.victim_cache import VictimCache
 from repro.common.config import baseline_system

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.types import IFETCH, LOAD, STORE, Access, AccessKind
-from repro.traces.trace import MaterializedTrace, Trace, TraceMeta, trace_from_pairs
+from repro.traces.trace import Trace, TraceMeta, trace_from_pairs
 
 PAIRS = [
     (int(IFETCH), 0x100),

@@ -1,8 +1,5 @@
 """Unit and property tests for the victim cache (paper §3.2)."""
 
-import random
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for steady-state warm-up measurement."""
 
-import pytest
-
 from repro.common.config import CacheConfig
 from repro.common.types import MissKind
 from repro.experiments.runner import run_level
