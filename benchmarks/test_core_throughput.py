@@ -3,8 +3,16 @@
 Not a paper artifact — these track the cost of the simulator itself
 (references per second through each cache model and the full system),
 so regressions in the hot paths show up in the benchmark report.
+
+The trace-delivery pair (``packed_trace`` vs ``list_trace``) measures
+the parallel engine's per-worker unit of work — receive one serialized
+trace, then replay it once — for the packed array representation
+against the legacy list of tuples.  Packed buffers serialize as two
+contiguous blocks instead of one object per reference, which is where
+the engine's worker warm-up time goes.
 """
 
+import pickle
 import random
 
 import pytest
@@ -16,8 +24,11 @@ from repro.caches.direct_mapped import DirectMappedCache
 from repro.caches.fully_associative import FullyAssociativeCache
 from repro.caches.set_associative import SetAssociativeCache
 from repro.common.config import CacheConfig
+from repro.experiments.engine import LevelSummary
 from repro.hierarchy.level import CacheLevel
 from repro.hierarchy.system import MemorySystem
+from repro.store import ResultKey, ResultStore
+from repro.traces.trace import MaterializedTrace
 
 N_REFS = 50_000
 CONFIG = CacheConfig(4096, 16)
@@ -117,3 +128,45 @@ def test_classifying_level_throughput(benchmark, random_lines):
         rounds=3,
         iterations=1,
     )
+
+
+def _deliver_and_replay(trace) -> int:
+    """One engine worker's trace handoff: deserialize, then replay once."""
+    clone = pickle.loads(pickle.dumps(trace))
+    count = 0
+    for _kind, _address in clone:
+        count += 1
+    return count
+
+
+def test_packed_trace_delivery_replay(benchmark, mixed_trace):
+    # mixed_trace is a PackedTrace (materialize() packs by default); a
+    # fresh instance keeps lazy caches empty so only the buffers ship.
+    packed = type(mixed_trace)(mixed_trace.meta, mixed_trace._kinds, mixed_trace._addresses)
+    assert benchmark.pedantic(
+        lambda: _deliver_and_replay(packed), rounds=3, iterations=1
+    ) == len(packed)
+
+
+def test_list_trace_delivery_replay(benchmark, mixed_trace):
+    listed = MaterializedTrace(mixed_trace.meta, list(mixed_trace))
+    assert benchmark.pedantic(
+        lambda: _deliver_and_replay(listed), rounds=3, iterations=1
+    ) == len(listed)
+
+
+def test_result_store_hit_throughput(benchmark, tmp_path):
+    store = ResultStore(tmp_path / "bench-store")
+    keys = [ResultKey("LevelJob", f"spec{i:04d}", "trace", {"i": i}) for i in range(200)]
+    summary = LevelSummary(50_000, 4_000, 400, 3_600, conflict_misses=900)
+    for key in keys:
+        store.put(key, summary)
+
+    def warm_lookups() -> int:
+        hits = 0
+        for key in keys:
+            result, _ = store.get(key)
+            hits += result is not None
+        return hits
+
+    assert benchmark.pedantic(warm_lookups, rounds=3, iterations=1) == len(keys)

@@ -19,9 +19,17 @@ rejected with a clear error instead of being silently clamped.
 
 ``--emit-metrics PATH`` appends one JSON Lines run record per executed
 experiment (see :mod:`repro.telemetry.record` for the schema): wall
-time, references/sec, aggregated L1/L2 counters (serial runs), and the
-engine's job batches and serial-fallback reasons.  ``--progress``
-prints parallel-engine heartbeats to stderr.
+time, references/sec, aggregated L1/L2 counters (serial runs), the
+engine's job batches and serial-fallback reasons, and result-store
+traffic when a store is active.  ``--progress`` prints parallel-engine
+heartbeats to stderr.
+
+``--result-store DIR`` (or the ``REPRO_RESULT_STORE`` environment
+variable) activates the content-addressed result store: every engine
+simulation point is looked up before running and saved after, so a
+repeated invocation re-simulates nothing and still prints row-for-row
+identical output.  ``repro-experiments store {stats|gc|clear}``
+inspects or cleans the store.
 """
 
 from __future__ import annotations
@@ -94,11 +102,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print parallel-engine heartbeat lines to stderr",
     )
+    parser.add_argument(
+        "--result-store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "activate the content-addressed result store rooted at DIR "
+            "(default: $REPRO_RESULT_STORE, unset = off)"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiments and args.experiments[0] == "store":
+        # Maintenance subcommand: repro-experiments store {stats|gc|clear}.
+        from ..store.cli import run_store_command
+
+        store_argv = args.experiments[1:]
+        if args.result_store:
+            store_argv += ["--result-store", args.result_store]
+        return run_store_command(store_argv)
+    if args.result_store:
+        # Set via the environment so engine worker processes (fork or
+        # spawn) resolve the same store.
+        from ..store import set_store
+
+        set_store(args.result_store)
     if args.list:
         for name in ALL_EXPERIMENTS:
             print(name)

@@ -54,7 +54,9 @@ from ..common.errors import ConfigurationError
 from ..common.stats import percent, safe_div
 from ..specs import SpecError, SystemSpec, TraceSpec, describe, parse_structure_code
 from ..specs import build as build_spec
+from ..specs import spec_hash
 from ..specs import structure_code as _structure_code
+from ..store import ResultKey, current_store
 from ..telemetry.core import JobProgress, ProgressCallback
 from ..telemetry.core import current as _telemetry_scope
 from .base import FigureResult, TableResult
@@ -334,6 +336,59 @@ def _warm_worker(trace_keys: Tuple[TraceSpec, ...]) -> None:
         key.trace()
 
 
+def _shm_warm_worker(descriptors: Tuple) -> None:
+    """Worker initializer: rebuild packed traces from shared memory.
+
+    Each descriptor names one shared-memory segment holding a trace's
+    packed buffers; attaching is two ``memcpy`` calls instead of a full
+    synthetic-generator replay.  Failures degrade gracefully — a trace
+    that cannot be attached is simply rebuilt on demand by the first job
+    that needs it, through the normal workload memo.
+    """
+    from ..traces.packed import attach_shared_trace
+    from .workloads import seed_materialized_trace
+
+    for descriptor in descriptors:
+        try:
+            trace = attach_shared_trace(descriptor)
+        except Exception:
+            continue
+        name, scale, seed = descriptor.memo_key
+        seed_materialized_trace(name, scale, seed, trace)
+
+
+def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
+    """``(initializer, initargs, segments)`` for warming a worker pool.
+
+    Fork-based platforms inherit the parent's materialized traces
+    copy-on-write, so the plain warm initializer is free there.  On
+    spawn/forkserver platforms each worker would replay every synthetic
+    generator from scratch; instead the parent materializes once, lays
+    the packed buffers out in shared memory, and workers attach-and-copy.
+    The caller must pass *segments* to
+    :func:`~repro.traces.packed.release_shared_segments` after the pool
+    has shut down.
+    """
+    import multiprocessing
+
+    plain = (_warm_worker, (trace_keys,), [])
+    if not trace_keys or multiprocessing.get_start_method() == "fork":
+        return plain
+    from ..traces.packed import PackedTrace, share_packed_traces
+
+    entries = []
+    for key in trace_keys:
+        trace = key.trace()
+        if not isinstance(trace, PackedTrace):
+            return plain
+        entries.append(((key.name, key.scale, key.seed), trace))
+    try:
+        descriptors, segments = share_packed_traces(entries)
+    except Exception:
+        return plain
+    return _shm_warm_worker, (tuple(descriptors),), segments
+
+
 def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceSpec, ...]:
     seen = {}
     for job in jobs:
@@ -342,6 +397,34 @@ def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceSpec, ...]:
         if isinstance(key, TraceSpec):
             seen[key] = None
     return tuple(seen)
+
+
+def _store_key(job: Job) -> Optional[ResultKey]:
+    """Result-store key for a job, or None for uncacheable jobs.
+
+    Only jobs whose full configuration is captured by a trace-bearing
+    :class:`~repro.specs.SystemSpec` plus the job's own scalar
+    parameters are cacheable.  :class:`ExperimentJob` is not — a whole
+    experiment module is an open-ended computation — but the engine
+    batches *inside* it hit the store individually.
+    """
+    system = getattr(job, "system", None)
+    if not isinstance(system, SystemSpec) or not isinstance(system.trace, TraceSpec):
+        return None
+    if isinstance(job, LevelJob):
+        extras = {}
+    elif isinstance(job, EntrySweepJob):
+        extras = {"kind": job.kind, "max_entries": job.max_entries}
+    elif isinstance(job, RunSweepJob):
+        extras = {"ways": job.ways, "entries": job.entries, "max_run": job.max_run}
+    else:
+        return None
+    return ResultKey(
+        job_kind=type(job).__name__,
+        spec_hash=spec_hash(system),
+        trace_fingerprint=system.trace.fingerprint(),
+        extras=extras,
+    )
 
 
 def _batch_kind(job_list: Sequence[Job]) -> str:
@@ -353,17 +436,21 @@ def _collect(
     futures: Sequence[Future],
     progress: Optional[ProgressCallback],
     heartbeat: float,
+    total: Optional[int] = None,
+    store_hits: int = 0,
 ) -> List:
     """Future results in submission order, with periodic progress reports.
 
     *progress* is called whenever the completed-job count changes and at
     least every *heartbeat* seconds while the pool is still working, so
     a long fan-out is never silent.  With no callback this is just an
-    ordered drain.
+    ordered drain.  *total*/*store_hits* let a store-assisted batch
+    report against the full job count: store hits count as already done.
     """
     if progress is None:
         return [future.result() for future in futures]
-    total = len(futures)
+    if total is None:
+        total = len(futures)
     started = time.perf_counter()
     pending = set(futures)
     reported = -1
@@ -371,7 +458,9 @@ def _collect(
         done, pending = wait(pending, timeout=heartbeat)
         finished = total - len(pending)
         if finished != reported or not done:
-            progress(JobProgress(finished, total, time.perf_counter() - started))
+            progress(
+                JobProgress(finished, total, time.perf_counter() - started, store_hits)
+            )
             reported = finished
     return [future.result() for future in futures]
 
@@ -390,25 +479,77 @@ def run_jobs(
     receives a :class:`~repro.telemetry.core.JobProgress` heartbeat at
     least every *heartbeat* seconds.  When a telemetry scope is active,
     the batch's job count, worker count, and wall time are recorded.
+
+    When a result store is active (``REPRO_RESULT_STORE`` or
+    ``--result-store``), each cacheable job is looked up before
+    dispatch and inserted after: a warm store satisfies the whole batch
+    without running a single simulation, and results stay in submission
+    order either way.
     """
     job_list = list(job_list)
-    workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
+    store = current_store()
     scope = _telemetry_scope()
     started = time.perf_counter() if scope is not None else 0.0
-    if workers <= 1:
-        results = [execute_job(job) for job in job_list]
+
+    # Consult the store first: hits fill their result slots directly,
+    # misses keep (slot, job, key) so computed results can be merged
+    # back — and inserted — in submission order.
+    results: List = [None] * len(job_list)
+    misses: List[Tuple[int, Job, Optional[ResultKey]]] = []
+    hits = 0
+    consulted_misses = 0
+    bytes_read = 0
+    if store is None:
+        misses = [(index, job, None) for index, job in enumerate(job_list)]
     else:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_warm_worker,
-            initargs=(_distinct_trace_keys(job_list),),
-        ) as pool:
-            futures = [pool.submit(execute_job, job) for job in job_list]
-            results = _collect(futures, progress, heartbeat)
+        for index, job in enumerate(job_list):
+            key = _store_key(job)
+            if key is not None:
+                cached, nbytes = store.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    hits += 1
+                    bytes_read += nbytes
+                    continue
+                consulted_misses += 1
+            misses.append((index, job, key))
+
+    pending_jobs = [job for _, job, _ in misses]
+    workers = min(resolve_jobs(jobs), len(pending_jobs)) if pending_jobs else 1
+    if workers <= 1:
+        computed = [execute_job(job) for job in pending_jobs]
+        if progress is not None and hits and not pending_jobs:
+            # Fully warm batch: one summary heartbeat instead of silence.
+            progress(JobProgress(hits, len(job_list), 0.0, hits))
+    else:
+        initializer, initargs, segments = _pool_setup(_distinct_trace_keys(pending_jobs))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                futures = [pool.submit(execute_job, job) for job in pending_jobs]
+                computed = _collect(
+                    futures, progress, heartbeat, total=len(job_list), store_hits=hits
+                )
+        finally:
+            if segments:
+                from ..traces.packed import release_shared_segments
+
+                release_shared_segments(segments)
+
+    for (index, _, key), result in zip(misses, computed):
+        results[index] = result
+        if store is not None and key is not None:
+            store.put(key, result)
+
     if scope is not None and job_list:
         scope.record_job_batch(
             _batch_kind(job_list), len(job_list), workers, time.perf_counter() - started
         )
+        if store is not None:
+            scope.record_store(hits, consulted_misses, bytes_read)
     return results
 
 
@@ -437,16 +578,25 @@ def run_experiments(
     else:
         # Build the suite once in the parent before forking: fork-based
         # platforms then share the materialized traces copy-on-write, and
-        # spawn-based ones rebuild them once per worker via the initializer.
+        # spawn-based ones receive the packed buffers through shared
+        # memory via the initializer (or rebuild once per worker when
+        # shared memory is unavailable).
         suite(scale, seed)
         suite_keys = tuple(TraceKey(name, scale, seed) for name in BENCHMARK_NAMES)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_warm_worker,
-            initargs=(suite_keys,),
-        ) as pool:
-            futures = [pool.submit(execute_job, job) for job in job_list]
-            outcomes = _collect(futures, progress, heartbeat)
+        initializer, initargs, segments = _pool_setup(suite_keys)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=initializer,
+                initargs=initargs,
+            ) as pool:
+                futures = [pool.submit(execute_job, job) for job in job_list]
+                outcomes = _collect(futures, progress, heartbeat)
+        finally:
+            if segments:
+                from ..traces.packed import release_shared_segments
+
+                release_shared_segments(segments)
     if scope is not None and job_list:
         scope.record_job_batch(
             "ExperimentJob", len(job_list), workers, time.perf_counter() - started

@@ -15,11 +15,11 @@ miss cache holds.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from ..common.config import CacheConfig
 from .base import FigureResult, Series
-from .sweeps import EntrySweep, miss_cache_sweep
+from .sweeps import batch_entry_sweeps
 from .workloads import suite
 
 __all__ = ["run", "entry_sweep_figure"]
@@ -30,17 +30,31 @@ ENTRIES = list(range(0, 16))
 def entry_sweep_figure(
     experiment_id: str,
     title: str,
-    sweep_fn: Callable[[List[int], CacheConfig, int], EntrySweep],
+    kind: str,
     traces,
     notes: List[str],
 ) -> FigureResult:
-    """Shared driver for Figures 3-3 and 3-5 (only the structure differs)."""
+    """Shared driver for Figures 3-3 and 3-5 (only the structure differs).
+
+    *kind* is the :func:`~repro.experiments.sweeps.batch_entry_sweeps`
+    structure kind (``"miss"`` or ``"victim"``).  Routing through the
+    batch helper means the figure inherits its execution modes: inline
+    by default, fanned out with ``REPRO_JOBS > 1``, memoized point by
+    point when a result store is active.
+    """
+    traces = list(traces)
     config = CacheConfig(4096, 16)
+    sides = (("i", "L1 I-cache"), ("d", "L1 D-cache"))
+    sweeps = batch_entry_sweeps(
+        traces, config, kind=kind, sides=[side for side, _ in sides],
+        max_entries=max(ENTRIES),
+    )
+    sweep_iter = iter(sweeps)
     series: List[Series] = []
-    for side, side_label in (("i", "L1 I-cache"), ("d", "L1 D-cache")):
+    for _, side_label in sides:
         contributing: List[List[float]] = []
         for trace in traces:
-            sweep = sweep_fn(trace.stream(side), config, max(ENTRIES))
+            sweep = next(sweep_iter)
             curve = [sweep.percent_of_conflicts_removed(k) for k in ENTRIES]
             series.append(Series(f"{side_label} {trace.name}", ENTRIES, curve))
             # The paper's equal-weight average includes every benchmark
@@ -72,7 +86,7 @@ def run(traces=None, scale: Optional[int] = None, seed: int = 0) -> FigureResult
     return entry_sweep_figure(
         "figure_3_3",
         "Conflict misses removed by miss caching (4KB caches, 16B lines)",
-        miss_cache_sweep,
+        "miss",
         traces,
         notes=[
             "paper: 2-entry MC removes 25% of data conflicts on average, 4-entry 36%;",

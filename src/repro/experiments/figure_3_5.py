@@ -13,7 +13,6 @@ from typing import Optional
 
 from .base import FigureResult
 from .figure_3_3 import entry_sweep_figure
-from .sweeps import victim_cache_sweep
 from .workloads import suite
 
 __all__ = ["run"]
@@ -24,7 +23,7 @@ def run(traces=None, scale: Optional[int] = None, seed: int = 0) -> FigureResult
     return entry_sweep_figure(
         "figure_3_5",
         "Conflict misses removed by victim caching (4KB caches, 16B lines)",
-        victim_cache_sweep,
+        "victim",
         traces,
         notes=[
             "paper: one-line victim caches are useful, unlike one-line miss caches;",

@@ -16,7 +16,7 @@ from typing import List, Optional
 
 from ..common.config import CacheConfig
 from .base import FigureResult, Series
-from .sweeps import stream_buffer_run_sweep
+from .sweeps import batch_run_sweeps
 from .workloads import suite
 
 __all__ = ["run", "run_length_figure", "RUN_LENGTHS"]
@@ -31,13 +31,26 @@ def run_length_figure(
     ways: int,
     notes: List[str],
 ) -> FigureResult:
-    """Shared driver for Figures 4-3 (1-way) and 4-5 (4-way)."""
+    """Shared driver for Figures 4-3 (1-way) and 4-5 (4-way).
+
+    Sweeps go through :func:`~repro.experiments.sweeps.batch_run_sweeps`
+    so the figure inherits its execution modes: inline by default,
+    fanned out with ``REPRO_JOBS > 1``, memoized point by point when a
+    result store is active.
+    """
+    traces = list(traces)
     config = CacheConfig(4096, 16)
+    sides = (("i", "L1 I-cache"), ("d", "L1 D-cache"))
+    sweeps = batch_run_sweeps(
+        traces, config, sides=[side for side, _ in sides],
+        ways=ways, max_run=max(RUN_LENGTHS),
+    )
+    sweep_iter = iter(sweeps)
     series: List[Series] = []
-    for side, side_label in (("i", "L1 I-cache"), ("d", "L1 D-cache")):
+    for _, side_label in sides:
         curves: List[List[float]] = []
         for trace in traces:
-            sweep = stream_buffer_run_sweep(trace.stream(side), config, ways=ways)
+            sweep = next(sweep_iter)
             curve = [sweep.percent_removed(k) for k in RUN_LENGTHS]
             if sweep.total_misses > 0:
                 curves.append(curve)

@@ -96,7 +96,9 @@ class GridSpec:
         return len(self.cache_sizes_kb) * len(self.line_sizes) * len(self.structures)
 
 
-def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[List[List]]:
+def _parallel_rows(
+    traces, spec: GridSpec, side: str, jobs: int, warn: bool = True
+) -> Optional[List[List]]:
     """Grid rows via the engine, or None when the sweep is not job-able.
 
     Every grid point must be expressible as a picklable job: each trace
@@ -105,7 +107,8 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
     :class:`~repro.specs.StructureSpec`, or a factory whose product
     :func:`~repro.specs.describe` can turn into one.  Anything else —
     hand-built traces, structures holding live callables, unregistered
-    classes — falls back to the serial path, surfaced as a
+    classes — falls back to the serial path, surfaced (when *warn* is
+    set, i.e. the caller actually asked for parallelism) as a
     :class:`~repro.telemetry.core.ParallelFallbackWarning` plus a
     ``fallback_reason`` entry on the active telemetry scope.
     """
@@ -115,23 +118,25 @@ def _parallel_rows(traces, spec: GridSpec, side: str, jobs: int) -> Optional[Lis
 
     trace_keys = [TraceSpec.of(trace) for trace in traces]
     if any(key is None for key in trace_keys):
-        unkeyed = [trace.name for trace, key in zip(traces, trace_keys) if key is None]
-        record_fallback(
-            "sweep_grid",
-            f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
-            stacklevel=4,
-        )
+        if warn:
+            unkeyed = [trace.name for trace, key in zip(traces, trace_keys) if key is None]
+            record_fallback(
+                "sweep_grid",
+                f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
+                stacklevel=4,
+            )
         return None
     structure_specs = {}
     for label, value in spec.structures.items():
         try:
             structure_specs[label] = _spec_of_value(value)
         except SpecError as exc:
-            record_fallback(
-                "sweep_grid",
-                f"structure {label!r} cannot be described as a declarative spec: {exc}",
-                stacklevel=4,
-            )
+            if warn:
+                record_fallback(
+                    "sweep_grid",
+                    f"structure {label!r} cannot be described as a declarative spec: {exc}",
+                    stacklevel=4,
+                )
             return None
     job_list = []
     points = []
@@ -183,14 +188,19 @@ def sweep_grid(
     With ``jobs > 1`` (or ``REPRO_JOBS`` set) the grid points fan out
     over the parallel engine; row order and values are identical to the
     serial sweep.  Traces without a registry recipe or structures the
-    engine cannot describe fall back to serial execution.
+    engine cannot describe fall back to serial execution.  An active
+    result store also routes the grid through the engine at ``jobs=1``,
+    so every point is memoized — a repeated grid re-simulates nothing.
     """
+    from ..store import current_store
     from .engine import resolve_jobs
 
     traces = list(traces)
     rows: Optional[List[List]] = None
-    if resolve_jobs(jobs) > 1:
-        rows = _parallel_rows(traces, spec, side, resolve_jobs(jobs))
+    if resolve_jobs(jobs) > 1 or current_store() is not None:
+        rows = _parallel_rows(
+            traces, spec, side, resolve_jobs(jobs), warn=resolve_jobs(jobs) > 1
+        )
     if rows is None:
         rows = []
         for trace in traces:

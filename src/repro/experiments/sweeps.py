@@ -168,15 +168,20 @@ def batch_entry_sweeps(
     overrides a ``jobs > 1`` request the fallback is surfaced with a
     :class:`~repro.telemetry.core.ParallelFallbackWarning` and recorded
     on the active telemetry scope.
+
+    An active result store also routes the batch through the engine at
+    ``jobs=1``: inline execution there is equivalent to this loop, and
+    engine jobs are what the store can memoize.
     """
     from ..specs import SystemSpec, TraceSpec
+    from ..store import current_store
     from .engine import EntrySweepJob, resolve_jobs, run_jobs
 
     traces = list(traces)
     pairs = [(side, trace) for side in sides for trace in traces]
     keys = {id(trace): TraceSpec.of(trace) for trace in traces}
     sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}[kind]
-    if resolve_jobs(jobs) > 1:
+    if resolve_jobs(jobs) > 1 or current_store() is not None:
         if all(key is not None for key in keys.values()):
             job_list = [
                 EntrySweepJob(
@@ -187,7 +192,8 @@ def batch_entry_sweeps(
                 for side, trace in pairs
             ]
             return run_jobs(job_list, jobs=jobs)
-        _note_fallback("batch_entry_sweeps", traces, keys)
+        if resolve_jobs(jobs) > 1:
+            _note_fallback("batch_entry_sweeps", traces, keys)
     return [sweep_fn(trace.stream(side), config, max_entries) for side, trace in pairs]
 
 
@@ -214,15 +220,17 @@ def batch_run_sweeps(
 ) -> List[RunLengthSweep]:
     """Stream-buffer run sweeps for every (side, trace) pair, nested order.
 
-    Serial-fallback semantics match :func:`batch_entry_sweeps`.
+    Serial-fallback and result-store semantics match
+    :func:`batch_entry_sweeps`.
     """
     from ..specs import SystemSpec, TraceSpec
+    from ..store import current_store
     from .engine import RunSweepJob, resolve_jobs, run_jobs
 
     traces = list(traces)
     pairs = [(side, trace) for side in sides for trace in traces]
     keys = {id(trace): TraceSpec.of(trace) for trace in traces}
-    if resolve_jobs(jobs) > 1:
+    if resolve_jobs(jobs) > 1 or current_store() is not None:
         if all(key is not None for key in keys.values()):
             job_list = [
                 RunSweepJob(
@@ -234,7 +242,8 @@ def batch_run_sweeps(
                 for side, trace in pairs
             ]
             return run_jobs(job_list, jobs=jobs)
-        _note_fallback("batch_run_sweeps", traces, keys)
+        if resolve_jobs(jobs) > 1:
+            _note_fallback("batch_run_sweeps", traces, keys)
     return [
         stream_buffer_run_sweep(
             trace.stream(side), config, ways=ways, entries=entries, max_run=max_run

@@ -38,6 +38,7 @@ from ..traces.trace import MaterializedTrace
 __all__ = [
     "suite",
     "materialized_trace",
+    "seed_materialized_trace",
     "default_scale",
     "trace_cache_cap",
     "BENCHMARK_NAMES",
@@ -89,6 +90,28 @@ def materialized_trace(
     else:
         _TRACE_CACHE.move_to_end(key)
     return trace
+
+
+def seed_materialized_trace(
+    name: str, scale: Optional[int], seed: int, trace: MaterializedTrace
+) -> None:
+    """Pre-seed the memo with an already-materialized trace.
+
+    Used by engine worker initializers that receive packed trace buffers
+    through shared memory: seeding the memo means later jobs in the
+    worker never replay the synthetic generator.  Uses the same key
+    resolution (``scale=None`` -> ambient default) as
+    :func:`materialized_trace`, and the same LRU bound.
+    """
+    if scale is None:
+        scale = default_scale()
+    key = (name, scale, seed)
+    if key not in _TRACE_CACHE:
+        cap = trace_cache_cap()
+        while len(_TRACE_CACHE) >= cap:
+            _TRACE_CACHE.popitem(last=False)
+    _TRACE_CACHE[key] = trace
+    _TRACE_CACHE.move_to_end(key)
 
 
 def suite(scale: Optional[int] = None, seed: int = 0) -> List[MaterializedTrace]:

@@ -65,6 +65,17 @@ class TraceSpec:
 
         return materialized_trace(self.name, scale=self.scale, seed=self.seed)
 
+    def fingerprint(self) -> str:
+        """Content hash of the referenced trace's reference stream.
+
+        Materializes the trace (through the process memo) on first use;
+        the hash itself is cached on the materialized trace.  This is
+        the content half of the result store's key: the spec hash pins
+        the *reference*, the fingerprint pins what the reference
+        actually resolved to.
+        """
+        return self.trace().fingerprint()
+
     def as_dict(self) -> Dict[str, object]:
         return {"name": self.name, "scale": self.scale, "seed": self.seed}
 

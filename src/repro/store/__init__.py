@@ -1,0 +1,21 @@
+"""Content-addressed, persistent memoization of simulation results."""
+
+from .core import (
+    ENV_RESULT_STORE,
+    RESULT_SCHEMA_VERSION,
+    ResultKey,
+    ResultStore,
+    StoreStats,
+    current_store,
+    set_store,
+)
+
+__all__ = [
+    "ENV_RESULT_STORE",
+    "RESULT_SCHEMA_VERSION",
+    "ResultKey",
+    "ResultStore",
+    "StoreStats",
+    "current_store",
+    "set_store",
+]

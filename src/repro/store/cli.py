@@ -1,0 +1,63 @@
+"""Maintenance subcommand for the result store.
+
+Invoked as ``repro-experiments store {stats|gc|clear}`` (the experiments
+CLI dispatches here when the first positional is ``store``).  The store
+root comes from ``--result-store`` or the ``REPRO_RESULT_STORE``
+environment variable, same as the engine's memoization path.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .core import ENV_RESULT_STORE, ResultStore, current_store
+
+__all__ = ["run_store_command"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments store",
+        description="Inspect or clean the content-addressed result store.",
+    )
+    parser.add_argument(
+        "action",
+        choices=["stats", "gc", "clear"],
+        help=(
+            "stats: entry counts and size; gc: drop entries from superseded "
+            "schema versions; clear: drop every entry"
+        ),
+    )
+    parser.add_argument(
+        "--result-store",
+        metavar="DIR",
+        default=None,
+        help=f"store root (default: ${ENV_RESULT_STORE})",
+    )
+    return parser
+
+
+def run_store_command(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-experiments store ...``; returns exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.result_store:
+        store: Optional[ResultStore] = ResultStore(args.result_store)
+    else:
+        store = current_store()
+    if store is None:
+        print(
+            "error: no result store configured "
+            f"(pass --result-store or set ${ENV_RESULT_STORE})"
+        )
+        return 2
+
+    if args.action == "stats":
+        print(store.stats().render())
+    elif args.action == "gc":
+        removed = store.gc()
+        print(f"removed {removed} stale entries from {store.root}")
+    else:
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    return 0

@@ -1,0 +1,279 @@
+"""Persistent, content-addressed result store for simulation points.
+
+Every engine job is a pure function of its inputs: a frozen
+:class:`~repro.specs.SystemSpec` (trace reference, geometry, structure,
+side, warmup, classify) plus a handful of job parameters, replayed over
+a deterministic trace.  That makes simulation results memoizable by
+*configuration identity* — the software analogue of way-memoization in
+hardware caches — and this module is the memo: a directory of one JSON
+file per ``(spec hash, trace fingerprint, job parameters)`` key.
+
+Design points:
+
+* **Content addressing.**  The key hashes the spec's canonical JSON
+  *and* the trace's content fingerprint, so a changed generator, scale
+  resolution, or seed can never serve a stale result — the key simply
+  differs.  The result-schema version is part of the key, so bumping
+  :data:`RESULT_SCHEMA_VERSION` invalidates every old entry at once.
+* **Atomic writes.**  Entries are written to a temp file in the target
+  directory and ``os.replace``-d into place, so concurrent writers
+  (parallel engines sharing one store) can never interleave bytes; the
+  worst case is both simulating the same point and one rename winning.
+* **Corruption-tolerant reads.**  A truncated, hand-edited, or
+  wrong-schema entry is a *miss*, never a crash: :meth:`ResultStore.get`
+  swallows decode errors and the engine recomputes (and rewrites) the
+  point.
+
+The active store is resolved from the ``REPRO_RESULT_STORE`` environment
+variable (or ``repro-experiments --result-store``, which sets it so
+worker processes inherit the store too); with neither set, the engine
+runs exactly as before — no store reads, no store writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from .codec import decode_result, encode_result
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ENV_RESULT_STORE",
+    "ResultKey",
+    "StoreStats",
+    "ResultStore",
+    "current_store",
+    "set_store",
+]
+
+#: Version of the stored-result schema: part of every key, so bumping it
+#: orphans (and :meth:`ResultStore.gc` later removes) all older entries.
+RESULT_SCHEMA_VERSION = 1
+
+ENV_RESULT_STORE = "REPRO_RESULT_STORE"
+
+
+@dataclass(frozen=True)
+class ResultKey:
+    """Identity of one cacheable simulation point.
+
+    ``spec_hash`` pins the full :class:`~repro.specs.SystemSpec`
+    (including the trace *reference*), ``trace_fingerprint`` pins the
+    trace *content*, and ``extras`` carries job parameters outside the
+    spec (sweep kind, entry counts, run lengths).
+    """
+
+    job_kind: str
+    spec_hash: str
+    trace_fingerprint: str
+    extras: Mapping = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "job_kind": self.job_kind,
+            "spec_hash": self.spec_hash,
+            "trace_fingerprint": self.trace_fingerprint,
+            "extras": dict(self.extras),
+            "result_schema": RESULT_SCHEMA_VERSION,
+        }
+
+    def digest(self) -> str:
+        payload = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class StoreStats:
+    """One walk of the store tree, for ``repro-experiments store stats``."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    #: Entries under version directories other than the current schema.
+    stale_entries: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"result store at {self.root}",
+            f"  schema version:  {RESULT_SCHEMA_VERSION}",
+            f"  current entries: {self.entries}",
+            f"  stale entries:   {self.stale_entries}",
+            f"  total size:      {self.total_bytes} bytes",
+        ]
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """JSON-per-key result store under one root directory.
+
+    Layout: ``<root>/v<schema>/<digest[:2]>/<digest>.json`` — the
+    two-character fan-out keeps directories small for stores holding the
+    tens of thousands of points a full design-space sweep produces.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------------
+
+    def _version_dir(self) -> Path:
+        return self.root / f"v{RESULT_SCHEMA_VERSION}"
+
+    def _entry_path(self, key: ResultKey) -> Path:
+        digest = key.digest()
+        return self._version_dir() / digest[:2] / f"{digest}.json"
+
+    # -- read/write -----------------------------------------------------------
+
+    def get(self, key: ResultKey) -> Tuple[Optional[object], int]:
+        """``(result, bytes_read)`` for a key, or ``(None, 0)`` on a miss.
+
+        *Any* failure — missing file, truncated JSON, schema mismatch,
+        unknown result type, wrong field types — degrades to a miss so a
+        damaged store can only cost recomputation, never correctness.
+        """
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+            payload = json.loads(raw)
+            if not isinstance(payload, dict):
+                return None, 0
+            if payload.get("result_schema") != RESULT_SCHEMA_VERSION:
+                return None, 0
+            if payload.get("key") != key.as_dict():
+                # Digest collision or tampered entry: treat as absent.
+                return None, 0
+            return decode_result(payload["result"]), len(raw)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None, 0
+
+    def put(self, key: ResultKey, result: object) -> None:
+        """Insert (or overwrite) one result atomically.
+
+        Serialization failures for unknown result types propagate (a
+        programming error); filesystem races lose benignly because the
+        final ``os.replace`` is atomic.
+        """
+        payload = {
+            "result_schema": RESULT_SCHEMA_VERSION,
+            "key": key.as_dict(),
+            "result": encode_result(result),
+        }
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=".tmp-",
+            suffix=".json",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------------
+
+    def _iter_entries(self):
+        """Yield ``(path, is_current_version)`` for every stored entry."""
+        if not self.root.is_dir():
+            return
+        current = self._version_dir().name
+        for version_dir in sorted(self.root.iterdir()):
+            if not version_dir.is_dir() or not version_dir.name.startswith("v"):
+                continue
+            for path in sorted(version_dir.glob("*/*.json")):
+                yield path, version_dir.name == current
+
+    def stats(self) -> StoreStats:
+        stats = StoreStats(root=str(self.root))
+        for path, is_current in self._iter_entries():
+            size = path.stat().st_size
+            stats.total_bytes += size
+            if is_current:
+                stats.entries += 1
+            else:
+                stats.stale_entries += 1
+        return stats
+
+    def gc(self) -> int:
+        """Remove entries from superseded schema versions; return count."""
+        removed = 0
+        for path, is_current in self._iter_entries():
+            if not is_current:
+                path.unlink(missing_ok=True)
+                removed += 1
+        self._prune_empty_dirs()
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry, current schema included; return count."""
+        removed = 0
+        for path, _ in self._iter_entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._prune_empty_dirs()
+        return removed
+
+    def _prune_empty_dirs(self) -> None:
+        if not self.root.is_dir():
+            return
+        for version_dir in self.root.iterdir():
+            if not version_dir.is_dir():
+                continue
+            for fan_dir in list(version_dir.iterdir()):
+                if fan_dir.is_dir() and not any(fan_dir.iterdir()):
+                    fan_dir.rmdir()
+            if not any(version_dir.iterdir()):
+                version_dir.rmdir()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+
+# -- the active store ---------------------------------------------------------
+
+_CACHED: Optional[ResultStore] = None
+
+
+def current_store() -> Optional[ResultStore]:
+    """The active result store, or None when memoization is off (default).
+
+    Resolved from ``REPRO_RESULT_STORE`` on every call (cheap: one env
+    read plus a cached object), so worker processes and late
+    ``--result-store`` flags all see the same answer.
+    """
+    global _CACHED
+    path = os.environ.get(ENV_RESULT_STORE, "")
+    if not path:
+        return None
+    if _CACHED is None or str(_CACHED.root) != path:
+        _CACHED = ResultStore(path)
+    return _CACHED
+
+
+def set_store(path: Optional[str]) -> Optional[ResultStore]:
+    """Point the active store at *path* (None disables it).
+
+    Sets the environment variable, so engine worker processes — fork or
+    spawn — inherit the same store.
+    """
+    if path:
+        os.environ[ENV_RESULT_STORE] = str(path)
+    else:
+        os.environ.pop(ENV_RESULT_STORE, None)
+    return current_store()

@@ -143,17 +143,27 @@ class JobBatchStats:
 
 
 class JobProgress:
-    """One heartbeat of a running parallel batch (for progress callbacks)."""
+    """One heartbeat of a running parallel batch (for progress callbacks).
 
-    __slots__ = ("done", "total", "elapsed")
+    ``store_hits`` counts jobs of the batch satisfied from the result
+    store instead of simulated; they are included in ``done``.
+    """
 
-    def __init__(self, done: int, total: int, elapsed: float) -> None:
+    __slots__ = ("done", "total", "elapsed", "store_hits")
+
+    def __init__(
+        self, done: int, total: int, elapsed: float, store_hits: int = 0
+    ) -> None:
         self.done = done
         self.total = total
         self.elapsed = elapsed
+        self.store_hits = store_hits
 
     def __str__(self) -> str:
-        return f"{self.done}/{self.total} jobs done after {self.elapsed:.1f}s"
+        base = f"{self.done}/{self.total} jobs done after {self.elapsed:.1f}s"
+        if self.store_hits:
+            base += f" ({self.store_hits} from store)"
+        return base
 
 
 ProgressCallback = Callable[[JobProgress], None]
@@ -181,6 +191,10 @@ class MetricsScope:
         self.l1d: Dict[str, int] = {}
         self.l2: Dict[str, int] = {}
         self.level: Dict[str, int] = {}
+        # Result-store traffic (content-addressed memoization).
+        self.store_hits = 0
+        self.store_misses = 0
+        self.store_bytes_read = 0
 
     # -- counters/timers ------------------------------------------------------
 
@@ -203,6 +217,12 @@ class MetricsScope:
 
     def record_job_batch(self, kind: str, n_jobs: int, workers: int, elapsed: float) -> None:
         self.job_batches.append(JobBatchStats(kind, n_jobs, workers, elapsed))
+
+    def record_store(self, hits: int, misses: int, bytes_read: int) -> None:
+        """Accumulate one batch's result-store traffic."""
+        self.store_hits += hits
+        self.store_misses += misses
+        self.store_bytes_read += bytes_read
 
     # -- simulation observations ----------------------------------------------
 

@@ -82,6 +82,15 @@ _SCHEMA: Dict[str, tuple] = {
     "engine": (dict,),
 }
 
+#: Optional top-level fields: validated when present, absent in records
+#: written by older emitters.  Additive extensions land here so the
+#: schema version (and every stored record) survives unchanged.
+_OPTIONAL_SCHEMA: Dict[str, tuple] = {
+    # Result-store traffic: {"hits": int, "misses": int, "bytes_read": int};
+    # empty when no result store was active for the run.
+    "store": (dict,),
+}
+
 _MODES = ("serial", "parallel")
 
 
@@ -134,6 +143,8 @@ class RunRecord:
     l2: Dict[str, int] = field(default_factory=dict)
     level: Dict[str, int] = field(default_factory=dict)
     engine: Dict[str, list] = field(default_factory=lambda: {"job_batches": [], "fallbacks": []})
+    #: Result-store traffic for the run (empty when no store was active).
+    store: Dict[str, int] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
@@ -189,6 +200,15 @@ def build_run_record(
             "job_batches": [batch.as_dict() for batch in scope.job_batches],
             "fallbacks": [event.as_dict() for event in scope.fallbacks],
         },
+        store=(
+            {
+                "hits": scope.store_hits,
+                "misses": scope.store_misses,
+                "bytes_read": scope.store_bytes_read,
+            }
+            if (scope.store_hits or scope.store_misses)
+            else {}
+        ),
     )
 
 
@@ -216,7 +236,12 @@ def validate_record(payload: Mapping) -> None:
     for section in ("job_batches", "fallbacks"):
         if not isinstance(engine.get(section), list):
             raise ValueError(f"run record engine.{section} must be a list")
-    for group in ("l1i", "l1d", "l2", "level"):
+    for key, types in _OPTIONAL_SCHEMA.items():
+        if key in payload and not isinstance(payload[key], types):
+            expected = "/".join(t.__name__ for t in types)
+            raise ValueError(f"run record field {key!r} must be {expected}, got {payload[key]!r}")
+    groups = ("l1i", "l1d", "l2", "level") + (("store",) if "store" in payload else ())
+    for group in groups:
         for name, count in payload[group].items():
             if not isinstance(name, str) or isinstance(count, bool) or not isinstance(count, int):
                 raise ValueError(f"run record {group} must map str -> int, got {name!r}: {count!r}")

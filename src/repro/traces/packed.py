@@ -1,0 +1,224 @@
+"""Packed trace buffers: array-backed replay storage and worker handoff.
+
+A :class:`~repro.traces.trace.MaterializedTrace` holds one replay as a
+Python list of ``(kind, address)`` tuples — convenient, but the single
+largest memory cost of a sweep (three heap objects per reference) and
+the single largest transfer cost when traces cross process boundaries:
+pickling a list of tuples rebuilds every tuple and every int on the
+other side, element by element.
+
+:class:`PackedTrace` keeps the same interface (it *is* a
+``MaterializedTrace``) over two flat buffers — kinds in an
+``array('b')``, byte addresses in an ``array('q')`` — so a trace
+serializes and deserializes as two contiguous memory blocks.  Pair
+iteration is zero-copy (``zip`` over the buffers; no list of tuples is
+ever materialized unless a legacy caller asks for ``.pairs``), split
+streams are extracted with C-level ``bytes.translate`` +
+``itertools.compress`` selection, and kind counts come from
+``array.count``.
+
+For process pools, :func:`share_packed_traces` lays the buffers out in
+:mod:`multiprocessing.shared_memory` segments and
+:func:`attach_shared_trace` rebuilds a trace on the other side with one
+``memcpy`` per buffer — so spawn-based platforms stop replaying the
+synthetic generators once per worker (the dominant warm-up cost) and
+fork-based ones can skip the handoff entirely (copy-on-write already
+shares the parent's buffers).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from itertools import compress
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..common.types import AccessKind
+from .trace import MaterializedTrace, Pair, TraceMeta, TraceStats
+
+__all__ = [
+    "PackedTrace",
+    "SharedTraceDescriptor",
+    "share_packed_traces",
+    "attach_shared_trace",
+    "release_shared_segments",
+]
+
+#: ``bytes.translate`` tables mapping one kind byte to selector 1 and
+#: everything else to 0 — C-speed per-side selection for ``compress``.
+_SELECT_IFETCH = bytes(1 if i == int(AccessKind.IFETCH) else 0 for i in range(256))
+_SELECT_DATA = bytes(0 if i == int(AccessKind.IFETCH) else 1 for i in range(256))
+
+
+class PackedTrace(MaterializedTrace):
+    """One replay held as packed (kinds, addresses) array buffers.
+
+    Drop-in for :class:`MaterializedTrace`: every consumer-facing member
+    (``stream``, ``stats``, ``unique_lines``, iteration, ``len``) works
+    identically, and ``.pairs`` materializes the legacy list of tuples
+    lazily for callers that still want it.  Iterating the trace itself
+    is zero-copy: ``zip`` over the two buffers, no intermediate list.
+    """
+
+    def __init__(self, meta: TraceMeta, kinds: array, addresses: array):
+        if len(kinds) != len(addresses):
+            raise ValueError(
+                f"kinds/addresses length mismatch: {len(kinds)} != {len(addresses)}"
+            )
+        self.meta = meta
+        self._kinds = kinds
+        self._addresses = addresses
+        self._pairs: Optional[List[Pair]] = None
+        self._instruction_addresses: Optional[List[int]] = None
+        self._data_addresses: Optional[List[int]] = None
+        self._stats: Optional[TraceStats] = None
+        self._fingerprint: Optional[str] = None
+
+    @classmethod
+    def from_pairs(cls, meta: TraceMeta, pairs: Iterable[Pair]) -> "PackedTrace":
+        """Pack an iterable of ``(kind, address)`` pairs into buffers."""
+        kinds = array("b")
+        addresses = array("q")
+        for kind, address in pairs:
+            kinds.append(kind)
+            addresses.append(address)
+        return cls(meta, kinds, addresses)
+
+    # -- representation ------------------------------------------------------
+
+    @property
+    def pairs(self) -> List[Pair]:  # type: ignore[override]
+        """Legacy list-of-tuples view, materialized once on first use."""
+        if self._pairs is None:
+            self._pairs = list(zip(self._kinds.tolist(), self._addresses.tolist()))
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def __iter__(self) -> Iterator[Pair]:
+        # Zero-copy pair iteration straight off the buffers.
+        return zip(self._kinds, self._addresses)
+
+    # -- derived views -------------------------------------------------------
+
+    def _select(self, table: bytes) -> List[int]:
+        selectors = self._kinds.tobytes().translate(table)
+        return list(compress(self._addresses, selectors))
+
+    @property
+    def instruction_addresses(self) -> List[int]:  # type: ignore[override]
+        if self._instruction_addresses is None:
+            self._instruction_addresses = self._select(_SELECT_IFETCH)
+        return self._instruction_addresses
+
+    @property
+    def data_addresses(self) -> List[int]:  # type: ignore[override]
+        if self._data_addresses is None:
+            self._data_addresses = self._select(_SELECT_DATA)
+        return self._data_addresses
+
+    def stats(self) -> TraceStats:
+        if self._stats is None:
+            instructions = self._kinds.count(int(AccessKind.IFETCH))
+            loads = self._kinds.count(int(AccessKind.LOAD))
+            stores = self._kinds.count(int(AccessKind.STORE))
+            self._stats = TraceStats(
+                instructions=instructions,
+                loads=loads,
+                stores=stores,
+                other=len(self._kinds) - instructions - loads - stores,
+            )
+        return self._stats
+
+    def _content_buffers(self) -> Tuple[bytes, bytes]:
+        return self._kinds.tobytes(), self._addresses.tobytes()
+
+
+# -- shared-memory handoff ----------------------------------------------------
+
+#: Segment layout: addresses first (8-byte aligned at offset 0), kinds after.
+_ADDRESS_ITEMSIZE = array("q").itemsize
+
+
+@dataclass(frozen=True)
+class SharedTraceDescriptor:
+    """Everything a worker needs to rebuild one trace from shared memory.
+
+    ``memo_key`` is the per-process trace-memo key ``(name, scale,
+    seed)`` the engine uses, carried alongside so the worker can seed
+    its memo without re-deriving it.
+    """
+
+    shm_name: str
+    length: int
+    meta: TraceMeta
+    memo_key: Tuple[str, Optional[int], int]
+
+
+def share_packed_traces(
+    entries: Sequence[Tuple[Tuple[str, Optional[int], int], PackedTrace]],
+):
+    """Lay each packed trace out in one shared-memory segment.
+
+    Returns ``(descriptors, segments)``; the caller owns the segments
+    and must ``close()`` and ``unlink()`` them once every consumer has
+    attached (workers copy out of the segment, so unlinking after the
+    pool is warm is safe).  Raises on platforms without working shared
+    memory — callers fall back to per-worker rebuilds.
+    """
+    from multiprocessing import shared_memory
+
+    descriptors: List[SharedTraceDescriptor] = []
+    segments = []
+    try:
+        for memo_key, trace in entries:
+            kinds_bytes, address_bytes = trace._content_buffers()
+            size = max(1, len(address_bytes) + len(kinds_bytes))
+            segment = shared_memory.SharedMemory(create=True, size=size)
+            segments.append(segment)
+            segment.buf[: len(address_bytes)] = address_bytes
+            segment.buf[len(address_bytes): len(address_bytes) + len(kinds_bytes)] = kinds_bytes
+            descriptors.append(
+                SharedTraceDescriptor(
+                    shm_name=segment.name,
+                    length=len(trace),
+                    meta=trace.meta,
+                    memo_key=memo_key,
+                )
+            )
+    except Exception:
+        release_shared_segments(segments)
+        raise
+    return descriptors, segments
+
+
+def attach_shared_trace(descriptor: SharedTraceDescriptor) -> PackedTrace:
+    """Rebuild one packed trace from its shared-memory segment.
+
+    The buffers are copied out (one ``memcpy`` each) and the segment is
+    closed immediately, so the worker holds no shared-memory references
+    afterwards — lifetime stays entirely with the creating process.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=descriptor.shm_name)
+    try:
+        split = descriptor.length * _ADDRESS_ITEMSIZE
+        addresses = array("q")
+        addresses.frombytes(bytes(segment.buf[:split]))
+        kinds = array("b")
+        kinds.frombytes(bytes(segment.buf[split: split + descriptor.length]))
+    finally:
+        segment.close()
+    return PackedTrace(descriptor.meta, kinds, addresses)
+
+
+def release_shared_segments(segments) -> None:
+    """Close and unlink segments, ignoring already-released ones."""
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - cleanup race
+            pass

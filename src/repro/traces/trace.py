@@ -12,15 +12,33 @@ caches are split, and its figures treat the two sides independently).
 
 from __future__ import annotations
 
+import hashlib
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from ..common.errors import ConfigurationError
 from ..common.types import Access, AccessKind
 
 __all__ = ["TraceMeta", "TraceStats", "Trace", "MaterializedTrace", "trace_from_pairs"]
 
 #: The compact representation used everywhere hot: (kind, byte_address).
 Pair = Tuple[int, int]
+
+
+def _line_shift(line_size: int) -> int:
+    """Bit shift for a cache-line size, rejecting invalid sizes loudly.
+
+    ``line_size.bit_length() - 1`` silently miscomputes the shift for
+    non-power-of-two sizes (e.g. 24 -> shift 4, as if the line were
+    16B), so anything but a positive power of two is a configuration
+    error, matching :class:`~repro.common.config.CacheConfig`.
+    """
+    if line_size < 1 or line_size & (line_size - 1):
+        raise ConfigurationError(
+            f"line_size must be a positive power of two, got {line_size}"
+        )
+    return line_size.bit_length() - 1
 
 
 @dataclass(frozen=True)
@@ -43,6 +61,10 @@ class TraceStats:
     instructions: int = 0
     loads: int = 0
     stores: int = 0
+    #: References whose kind is none of IFETCH/LOAD/STORE (traces loaded
+    #: from files may carry future or foreign kind codes).  Counting them
+    #: keeps ``total_references`` equal to ``len(trace)`` always.
+    other: int = 0
 
     @property
     def data_references(self) -> int:
@@ -50,7 +72,7 @@ class TraceStats:
 
     @property
     def total_references(self) -> int:
-        return self.instructions + self.data_references
+        return self.instructions + self.data_references + self.other
 
     @property
     def data_per_instruction(self) -> float:
@@ -79,8 +101,19 @@ class Trace:
             yield Access(AccessKind(kind), address)
 
     def materialize(self) -> "MaterializedTrace":
-        """Replay once into memory for fast repeated simulation."""
-        return MaterializedTrace(self.meta, list(self))
+        """Replay once into memory for fast repeated simulation.
+
+        Returns a :class:`~repro.traces.packed.PackedTrace` — the same
+        interface as :class:`MaterializedTrace` (it is a subclass) over
+        packed array buffers — unless an address overflows the packed
+        64-bit representation, in which case the list form is kept.
+        """
+        from .packed import PackedTrace
+
+        try:
+            return PackedTrace.from_pairs(self.meta, self)
+        except OverflowError:
+            return MaterializedTrace(self.meta, list(self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Trace({self.meta.name!r})"
@@ -99,6 +132,7 @@ class MaterializedTrace:
         self._instruction_addresses: Optional[List[int]] = None
         self._data_addresses: Optional[List[int]] = None
         self._stats: Optional[TraceStats] = None
+        self._fingerprint: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -139,17 +173,42 @@ class MaterializedTrace:
             counts: Dict[int, int] = {}
             for kind, _ in self.pairs:
                 counts[kind] = counts.get(kind, 0) + 1
+            instructions = counts.get(int(AccessKind.IFETCH), 0)
+            loads = counts.get(int(AccessKind.LOAD), 0)
+            stores = counts.get(int(AccessKind.STORE), 0)
             self._stats = TraceStats(
-                instructions=counts.get(int(AccessKind.IFETCH), 0),
-                loads=counts.get(int(AccessKind.LOAD), 0),
-                stores=counts.get(int(AccessKind.STORE), 0),
+                instructions=instructions,
+                loads=loads,
+                stores=stores,
+                other=len(self.pairs) - instructions - loads - stores,
             )
         return self._stats
 
     def unique_lines(self, side: str, line_size: int) -> int:
         """Distinct cache lines touched by one side (footprint measure)."""
-        shift = line_size.bit_length() - 1
+        shift = _line_shift(line_size)
         return len({addr >> shift for addr in self.stream(side)})
+
+    def _content_buffers(self) -> Tuple[bytes, bytes]:
+        """The trace's content as packed (kinds, addresses) byte buffers."""
+        kinds = bytes(k for k, _ in self.pairs)
+        addresses = array("q", (a for _, a in self.pairs))
+        return kinds, addresses.tobytes()
+
+    def fingerprint(self) -> str:
+        """Short content hash over the packed (kind, address) buffers.
+
+        Two traces with identical reference streams share a fingerprint
+        regardless of how they were built (generator replay, file load,
+        packed or list representation) — the identity the result store
+        uses for content addressing.  Cached after the first call.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for buffer in self._content_buffers():
+                digest.update(buffer)
+            self._fingerprint = digest.hexdigest()[:16]
+        return self._fingerprint
 
 
 def trace_from_pairs(
