@@ -58,11 +58,11 @@ def level_point_specs(
     return specs
 
 
-def run_point_specs(specs, jobs: Optional[int] = None) -> List:
+def run_point_specs(specs, jobs: Optional[int] = None, resilience=None) -> List:
     """LevelSummaries for spec points, via the (optionally parallel) engine."""
     from .engine import LevelJob, run_jobs
 
-    return run_jobs([LevelJob(spec) for spec in specs], jobs=jobs)
+    return run_jobs([LevelJob(spec) for spec in specs], jobs=jobs, resilience=resilience)
 
 Value = Union[int, float, str]
 

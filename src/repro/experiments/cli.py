@@ -30,11 +30,22 @@ simulation point is looked up before running and saved after, so a
 repeated invocation re-simulates nothing and still prints row-for-row
 identical output.  ``repro-experiments store {stats|gc|clear}``
 inspects or cleans the store.
+
+Resilience flags: ``--job-timeout SECONDS`` (or ``REPRO_JOB_TIMEOUT``)
+bounds each engine job's wall clock, ``--retries N`` (or
+``REPRO_RETRIES``, default 2) re-runs transient failures with
+exponential backoff, and ``--resume`` re-runs an interrupted invocation
+against its result store — completed points are served from the store
+(the engine flushes each result as it completes), so only unfinished
+work simulates.  ``--resume`` requires a configured result store and is
+rejected otherwise; malformed or non-positive timeout/retry values exit
+with status 2 like ``--jobs 0`` does.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -111,6 +122,34 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: $REPRO_RESULT_STORE, unset = off)"
         ),
     )
+    parser.add_argument(
+        "--job-timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock ceiling per engine job; a timed-out job is retried, "
+            "then failed (default: REPRO_JOB_TIMEOUT or unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "re-run attempts per failed engine job, with exponential "
+            "backoff (default: REPRO_RETRIES or 2)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "continue an interrupted run from the result store: completed "
+            "points are served from the store, only unfinished work "
+            "simulates (requires --result-store or $REPRO_RESULT_STORE)"
+        ),
+    )
     return parser
 
 
@@ -130,6 +169,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..store import set_store
 
         set_store(args.result_store)
+    from .engine import (
+        ENV_JOB_TIMEOUT,
+        ENV_RETRIES,
+        validate_job_timeout,
+        validate_retries,
+    )
+
+    try:
+        job_timeout = validate_job_timeout(args.job_timeout)
+        retries = validate_retries(args.retries)
+    except ConfigurationError as exc:
+        print(f"repro-experiments: {exc}", file=sys.stderr)
+        return 2
+    # Resilience knobs travel through the environment so every nested
+    # run_jobs call — including those inside pool workers — sees them.
+    if args.job_timeout is not None:
+        os.environ[ENV_JOB_TIMEOUT] = str(job_timeout)
+    if args.retries is not None:
+        os.environ[ENV_RETRIES] = str(retries)
+    if args.resume:
+        from ..store import current_store
+
+        if current_store() is None:
+            print(
+                "repro-experiments: --resume requires a result store "
+                "(pass --result-store DIR or set $REPRO_RESULT_STORE)",
+                file=sys.stderr,
+            )
+            return 2
     if args.list:
         for name in ALL_EXPERIMENTS:
             print(name)

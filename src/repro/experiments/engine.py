@@ -43,11 +43,16 @@ not.  The legacy string codes (``"mc4"``, ``"vc4"``, ``"sb4"``,
 from __future__ import annotations
 
 import os
+import random
+import signal
+import threading
 import time
 import warnings
-from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..buffers.base import L1Augmentation
 from ..common.errors import ConfigurationError
@@ -57,7 +62,7 @@ from ..specs import build as build_spec
 from ..specs import spec_hash
 from ..specs import structure_code as _structure_code
 from ..store import ResultKey, current_store
-from ..telemetry.core import JobProgress, ProgressCallback
+from ..telemetry.core import JobProgress, ProgressCallback, record_fallback
 from ..telemetry.core import current as _telemetry_scope
 from .base import FigureResult, TableResult
 from .runner import run_level
@@ -76,11 +81,20 @@ __all__ = [
     "RunSweepJob",
     "ExperimentJob",
     "ExperimentOutcome",
+    "ResilienceOptions",
+    "JobFailure",
+    "JobFailedError",
+    "ENV_JOB_TIMEOUT",
+    "ENV_RETRIES",
     "build_structure",
     "spec_of",
     "default_jobs",
     "resolve_jobs",
     "validate_jobs",
+    "default_resilience",
+    "resolve_resilience",
+    "validate_job_timeout",
+    "validate_retries",
     "execute_job",
     "run_jobs",
     "run_experiments",
@@ -326,6 +340,117 @@ def validate_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# -- resilience ---------------------------------------------------------------
+
+ENV_JOB_TIMEOUT = "REPRO_JOB_TIMEOUT"
+ENV_RETRIES = "REPRO_RETRIES"
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Per-batch failure-handling knobs for :func:`run_jobs`.
+
+    ``job_timeout`` is a wall-clock ceiling per job attempt (None = no
+    limit); ``retries`` bounds how many times one job is re-attempted
+    after a transient failure, timeout, or corrupt payload.  Retries back
+    off exponentially from ``backoff_base`` (with jitter, capped at
+    ``backoff_cap``).  ``max_pool_rebuilds`` bounds how many times a
+    broken process pool is rebuilt before the batch degrades to serial
+    execution; ``poison_strikes`` is how many times one job may be seen
+    breaking the pool single-handedly before it is excluded as poison.
+    """
+
+    job_timeout: Optional[float] = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    max_pool_rebuilds: int = 5
+    poison_strikes: int = 2
+
+
+def _env_job_timeout() -> Optional[float]:
+    raw = os.environ.get(ENV_JOB_TIMEOUT, "")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigurationError(f"{ENV_JOB_TIMEOUT} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigurationError(f"{ENV_JOB_TIMEOUT} must be positive, got {raw!r}")
+    return value
+
+
+def _env_retries() -> int:
+    raw = os.environ.get(ENV_RETRIES, "")
+    if not raw:
+        return 2
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(f"{ENV_RETRIES} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ConfigurationError(f"{ENV_RETRIES} must be at least 0, got {raw!r}")
+    return value
+
+
+def default_resilience() -> ResilienceOptions:
+    """Batch resilience from ``REPRO_JOB_TIMEOUT``/``REPRO_RETRIES``."""
+    return ResilienceOptions(job_timeout=_env_job_timeout(), retries=_env_retries())
+
+
+def resolve_resilience(resilience: Optional[ResilienceOptions]) -> ResilienceOptions:
+    """Explicit options, or the environment-derived default when None."""
+    return default_resilience() if resilience is None else resilience
+
+
+def validate_job_timeout(value: Optional[float]) -> Optional[float]:
+    """CLI-boundary ``--job-timeout`` validation (reject, don't clamp).
+
+    Raises :class:`ConfigurationError` for non-positive values and (via
+    the environment fallback) for a malformed ``REPRO_JOB_TIMEOUT``.
+    """
+    if value is None:
+        return _env_job_timeout()
+    if value <= 0:
+        raise ConfigurationError(f"--job-timeout must be positive, got {value:g}")
+    return value
+
+
+def validate_retries(value: Optional[int]) -> int:
+    """CLI-boundary ``--retries`` validation (reject, don't clamp)."""
+    if value is None:
+        return _env_retries()
+    if value < 0:
+        raise ConfigurationError(f"--retries must be at least 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job the engine gave up on: its submission index and why."""
+
+    index: int
+    reason: str
+
+
+class JobFailedError(RuntimeError):
+    """Raised when one or more jobs of a batch failed permanently.
+
+    Raised *after* every other job of the batch has completed and been
+    flushed to the result store, so a failed sweep loses only the failed
+    points — rerunning with the same store resumes from the checkpoint.
+    """
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures = list(failures)
+        detail = "; ".join(f"job {f.index}: {f.reason}" for f in self.failures)
+        super().__init__(
+            f"{len(self.failures)} job(s) failed permanently "
+            f"(completed jobs were checkpointed): {detail}"
+        )
+
+
 def _warm_worker(trace_keys: Tuple[TraceSpec, ...]) -> None:
     """Worker initializer: materialize each distinct trace exactly once.
 
@@ -342,8 +467,10 @@ def _shm_warm_worker(descriptors: Tuple) -> None:
     Each descriptor names one shared-memory segment holding a trace's
     packed buffers; attaching is two ``memcpy`` calls instead of a full
     synthetic-generator replay.  Failures degrade gracefully — a trace
-    that cannot be attached is simply rebuilt on demand by the first job
-    that needs it, through the normal workload memo.
+    that cannot be attached is rebuilt on demand by the first job that
+    needs it, through the normal workload memo — but never silently: the
+    degradation and its cause are warned on the worker's stderr so a
+    slow spawn-platform pool can be diagnosed.
     """
     from ..traces.packed import attach_shared_trace
     from .workloads import seed_materialized_trace
@@ -351,14 +478,20 @@ def _shm_warm_worker(descriptors: Tuple) -> None:
     for descriptor in descriptors:
         try:
             trace = attach_shared_trace(descriptor)
-        except Exception:
+        except Exception as exc:
+            warnings.warn(
+                f"shared-memory attach failed for trace {descriptor.memo_key!r} "
+                f"({exc!r}); this worker rebuilds it from its generator instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             continue
         name, scale, seed = descriptor.memo_key
         seed_materialized_trace(name, scale, seed, trace)
 
 
 def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
-    """``(initializer, initargs, segments)`` for warming a worker pool.
+    """``(initializer, initargs, segments, degraded)`` for warming a pool.
 
     Fork-based platforms inherit the parent's materialized traces
     copy-on-write, so the plain warm initializer is free there.  On
@@ -367,11 +500,13 @@ def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
     the packed buffers out in shared memory, and workers attach-and-copy.
     The caller must pass *segments* to
     :func:`~repro.traces.packed.release_shared_segments` after the pool
-    has shut down.
+    has shut down.  *degraded* is None, or the reason shared-memory
+    delivery was unavailable and workers fell back to rebuilding traces
+    (surfaced in progress heartbeats rather than swallowed).
     """
     import multiprocessing
 
-    plain = (_warm_worker, (trace_keys,), [])
+    plain = (_warm_worker, (trace_keys,), [], None)
     if not trace_keys or multiprocessing.get_start_method() == "fork":
         return plain
     from ..traces.packed import PackedTrace, share_packed_traces
@@ -380,13 +515,23 @@ def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
     for key in trace_keys:
         trace = key.trace()
         if not isinstance(trace, PackedTrace):
-            return plain
+            return (
+                _warm_worker,
+                (trace_keys,),
+                [],
+                f"trace {key.name!r} is not packed; workers rebuild traces from generators",
+            )
         entries.append(((key.name, key.scale, key.seed), trace))
     try:
         descriptors, segments = share_packed_traces(entries)
-    except Exception:
-        return plain
-    return _shm_warm_worker, (tuple(descriptors),), segments
+    except Exception as exc:
+        return (
+            _warm_worker,
+            (trace_keys,),
+            [],
+            f"shared memory unavailable ({exc!r}); workers rebuild traces from generators",
+        )
+    return _shm_warm_worker, (tuple(descriptors),), segments, None
 
 
 def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceSpec, ...]:
@@ -432,37 +577,399 @@ def _batch_kind(job_list: Sequence[Job]) -> str:
     return kinds.pop() if len(kinds) == 1 else "mixed"
 
 
-def _collect(
-    futures: Sequence[Future],
+def _guarded_execute(job: Job, index: int, attempt: int):
+    """Run one job with the fault harness consulted first.
+
+    Module-level (hence picklable by reference) so it can be submitted
+    to pool workers; with no fault plan configured the guard is one
+    cached environment check per job.
+    """
+    from . import faults
+
+    injected = faults.maybe_inject(index, attempt)
+    if injected is not None:
+        return injected
+    return execute_job(job)
+
+
+class _Pending:
+    """Book-keeping for one not-yet-completed job of a batch."""
+
+    __slots__ = ("slot", "index", "job", "key", "attempts", "strikes", "started")
+
+    def __init__(self, slot: int, job: Job, key: Optional[ResultKey]) -> None:
+        self.slot = slot          # result-list position == submission index
+        self.index = slot         # fault-plan identity (stable across retries)
+        self.job = job
+        self.key = key
+        self.attempts = 0         # failed attempts so far
+        self.strikes = 0          # times seen breaking the pool single-handedly
+        self.started: Optional[float] = None  # first observed running (monotonic)
+
+
+class _BatchStats:
+    """Mutable per-batch resilience counters (folded into telemetry)."""
+
+    __slots__ = ("retries", "timeouts", "pool_rebuilds", "poisoned")
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_rebuilds = 0
+        self.poisoned = 0
+
+    def any(self) -> bool:
+        return bool(self.retries or self.timeouts or self.pool_rebuilds or self.poisoned)
+
+
+class _Reporter:
+    """Progress heartbeats: on completion-count change and every *heartbeat*s."""
+
+    def __init__(
+        self,
+        progress: Optional[ProgressCallback],
+        heartbeat: float,
+        total: int,
+        store_hits: int,
+        stats: _BatchStats,
+        note: Optional[str],
+    ) -> None:
+        self.progress = progress
+        self.heartbeat = heartbeat
+        self.total = total
+        self.store_hits = store_hits
+        self.stats = stats
+        self.note = note or ""
+        self.completed = store_hits
+        self.started = time.perf_counter()
+        self._last_count = -1
+        self._last_time = self.started
+
+    def report(self, force: bool = False) -> None:
+        if self.progress is None:
+            return
+        now = time.perf_counter()
+        if not force and self.completed == self._last_count:
+            if now - self._last_time < self.heartbeat:
+                return
+        self.progress(
+            JobProgress(
+                self.completed,
+                self.total,
+                now - self.started,
+                self.store_hits,
+                retries=self.stats.retries,
+                recoveries=self.stats.pool_rebuilds,
+                note=self.note,
+            )
+        )
+        self._last_count = self.completed
+        self._last_time = now
+
+
+def _backoff_delay(opts: ResilienceOptions, failed_attempts: int) -> float:
+    """Exponential backoff with jitter: base * 2^(n-1) * U[0.5, 1), capped."""
+    if opts.backoff_base <= 0.0:
+        return 0.0
+    delay = opts.backoff_base * (2.0 ** max(0, failed_attempts - 1))
+    return min(opts.backoff_cap, delay) * (0.5 + random.random() / 2.0)
+
+
+class _JobTimeoutError(Exception):
+    """Internal: a serial job attempt exceeded the wall-clock ceiling."""
+
+
+@contextmanager
+def _serial_deadline(seconds: Optional[float]):
+    """Enforce a wall-clock ceiling on an inline job via ``SIGALRM``.
+
+    Only armed when a timeout is configured, the platform has
+    ``setitimer``, and we are on the main thread (the only thread that
+    receives signals); otherwise inline execution runs unbounded — pool
+    execution (``jobs > 1``) enforces timeouts everywhere.
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise _JobTimeoutError()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _is_corrupt(outcome) -> bool:
+    from .faults import CorruptPayload
+
+    return isinstance(outcome, CorruptPayload)
+
+
+def _run_serial(
+    entries: List[_Pending],
+    opts: ResilienceOptions,
+    stats: _BatchStats,
+    failures: List[JobFailure],
+    complete,
+) -> None:
+    """Inline execution with retries and (best-effort) timeouts.
+
+    A ``KeyboardInterrupt`` propagates immediately — results completed
+    so far were already flushed through *complete*, so an interrupted
+    run resumes from the store.
+    """
+    for entry in entries:
+        while True:
+            reason = None
+            try:
+                with _serial_deadline(opts.job_timeout):
+                    outcome = _guarded_execute(entry.job, entry.index, entry.attempts)
+                if _is_corrupt(outcome):
+                    reason = "corrupt result payload"
+            except _JobTimeoutError:
+                stats.timeouts += 1
+                reason = f"timed out after {opts.job_timeout:g}s"
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+            if reason is None:
+                complete(entry, outcome)
+                break
+            entry.attempts += 1
+            if entry.attempts > opts.retries:
+                failures.append(JobFailure(entry.index, reason))
+                break
+            stats.retries += 1
+            time.sleep(_backoff_delay(opts, entry.attempts))
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting for stuck or dead workers."""
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    # A hung worker ignores shutdown (it never returns to the call
+    # queue), so terminate outstanding worker processes directly.
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _drain_pool(
+    pool: ProcessPoolExecutor,
+    batch: List[_Pending],
+    remaining: List[_Pending],
+    opts: ResilienceOptions,
+    stats: _BatchStats,
+    failures: List[JobFailure],
+    complete,
+    reporter: _Reporter,
+    sequential: bool,
+) -> Tuple[str, Optional[_Pending]]:
+    """Drain one pool generation; returns ``(status, culprit)``.
+
+    Status is ``"done"`` (every batch entry completed, failed out, or —
+    sequentially — was processed), ``"broke"`` (a worker died and the
+    pool is unusable; *culprit* is the responsible entry when it can be
+    attributed, i.e. in sequential mode), or ``"abandoned"`` (a job
+    exceeded its timeout; the pool was torn down to reclaim the stuck
+    worker).  Transient job failures are retried *within* the pool;
+    entries leave *remaining* only on completion or permanent failure.
+    """
+    queue = list(batch) if sequential else []
+    active: Dict = {}
+    tick = reporter.heartbeat
+    if opts.job_timeout is not None:
+        tick = max(0.02, min(tick, opts.job_timeout / 5.0))
+
+    def submit(entry: _Pending) -> bool:
+        entry.started = None
+        try:
+            future = pool.submit(_guarded_execute, entry.job, entry.index, entry.attempts)
+        except Exception:  # pool already broken or shut down
+            return False
+        active[future] = entry
+        return True
+
+    def fail_or_retry(entry: _Pending, reason: str, pause: bool = True) -> None:
+        entry.attempts += 1
+        if entry.attempts > opts.retries:
+            failures.append(JobFailure(entry.index, reason))
+            remaining.remove(entry)
+            return
+        stats.retries += 1
+        if pause:
+            time.sleep(_backoff_delay(opts, entry.attempts))
+        if not submit(entry):
+            raise BrokenProcessPool("pool broke while re-submitting a retried job")
+
+    try:
+        seeds = queue[:1] if sequential else batch
+        for entry in list(seeds):
+            if sequential:
+                queue.remove(entry)
+            if not submit(entry):
+                # Submission failure means the pool was already dead;
+                # the entry being submitted is not to blame.
+                _abandon_pool(pool)
+                return "broke", None
+        while active:
+            done, _ = wait(set(active), timeout=tick, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for future in done:
+                entry = active.pop(future)
+                exc = future.exception()
+                if isinstance(exc, BrokenProcessPool):
+                    _abandon_pool(pool)
+                    return "broke", entry if sequential else None
+                if exc is not None:
+                    fail_or_retry(entry, f"{type(exc).__name__}: {exc}")
+                    continue
+                outcome = future.result()
+                if _is_corrupt(outcome):
+                    fail_or_retry(entry, "corrupt result payload")
+                    continue
+                remaining.remove(entry)
+                complete(entry, outcome)
+            # Start the per-job clock at first observed execution and
+            # enforce the wall-clock ceiling.  A timed-out job forfeits
+            # the whole pool: there is no way to cancel a running task,
+            # so the stuck worker is terminated and survivors re-run.
+            for future, entry in list(active.items()):
+                if not future.running():
+                    continue
+                if entry.started is None:
+                    entry.started = now
+                elif opts.job_timeout is not None and now - entry.started > opts.job_timeout:
+                    stats.timeouts += 1
+                    entry.attempts += 1
+                    if entry.attempts > opts.retries:
+                        failures.append(
+                            JobFailure(
+                                entry.index, f"timed out after {opts.job_timeout:g}s"
+                            )
+                        )
+                        remaining.remove(entry)
+                    else:
+                        stats.retries += 1
+                    _abandon_pool(pool)
+                    return "abandoned", None
+            if sequential and not active and queue:
+                entry = queue.pop(0)
+                if entry in remaining and not submit(entry):
+                    _abandon_pool(pool)
+                    return "broke", None
+            reporter.report()
+    except BrokenProcessPool:
+        _abandon_pool(pool)
+        return "broke", None
+    except KeyboardInterrupt:
+        # Orderly interrupt: reclaim workers, keep everything already
+        # flushed.  The store checkpoint makes the run resumable.
+        _abandon_pool(pool)
+        raise
+    return "done", None
+
+
+def _execute_entries(
+    entries: List[_Pending],
+    workers: int,
+    opts: ResilienceOptions,
+    store,
+    stats: _BatchStats,
     progress: Optional[ProgressCallback],
     heartbeat: float,
-    total: Optional[int] = None,
-    store_hits: int = 0,
-) -> List:
-    """Future results in submission order, with periodic progress reports.
+    total: int,
+    store_hits: int,
+    pool_env: Optional[Tuple] = None,
+    note: Optional[str] = None,
+) -> Tuple[Dict[int, object], List[JobFailure]]:
+    """Execute pending entries with retries, timeouts, and pool recovery.
 
-    *progress* is called whenever the completed-job count changes and at
-    least every *heartbeat* seconds while the pool is still working, so
-    a long fan-out is never silent.  With no callback this is just an
-    ordered drain.  *total*/*store_hits* let a store-assisted batch
-    report against the full job count: store hits count as already done.
+    Returns ``(results_by_slot, permanent_failures)``.  Every completed
+    result is flushed to *store* (when active and the entry is cacheable)
+    *as it completes*, so a crash, hang, or interrupt later in the batch
+    never loses finished work.
     """
-    if progress is None:
-        return [future.result() for future in futures]
-    if total is None:
-        total = len(futures)
-    started = time.perf_counter()
-    pending = set(futures)
-    reported = -1
-    while pending:
-        done, pending = wait(pending, timeout=heartbeat)
-        finished = total - len(pending)
-        if finished != reported or not done:
-            progress(
-                JobProgress(finished, total, time.perf_counter() - started, store_hits)
+    results: Dict[int, object] = {}
+    failures: List[JobFailure] = []
+    reporter = _Reporter(progress, heartbeat, total, store_hits, stats, note)
+
+    def complete(entry: _Pending, outcome) -> None:
+        results[entry.slot] = outcome
+        if store is not None and entry.key is not None:
+            store.put(entry.key, outcome)
+        reporter.completed += 1
+        reporter.report()
+
+    remaining = list(entries)
+    if workers > 1 and pool_env is not None:
+        initializer, initargs = pool_env
+        pool_breaks = 0
+        careful = False
+        while remaining and pool_breaks <= opts.max_pool_rebuilds:
+            batch = list(remaining)
+            pool = ProcessPoolExecutor(
+                max_workers=1 if careful else min(workers, len(batch)),
+                initializer=initializer,
+                initargs=initargs,
             )
-            reported = finished
-    return [future.result() for future in futures]
+            status, culprit = "done", None
+            try:
+                status, culprit = _drain_pool(
+                    pool, batch, remaining, opts, stats, failures,
+                    complete, reporter, sequential=careful,
+                )
+            finally:
+                if status == "done":
+                    pool.shutdown()
+            if status == "broke":
+                pool_breaks += 1
+                stats.pool_rebuilds += 1
+                if culprit is not None and culprit in remaining:
+                    # Sequential mode pins the blame: the job that was
+                    # alone in flight when the pool died is the culprit.
+                    culprit.strikes += 1
+                    culprit.attempts += 1
+                    if culprit.strikes >= opts.poison_strikes:
+                        failures.append(
+                            JobFailure(
+                                culprit.index,
+                                f"excluded as poison: worker process died "
+                                f"{culprit.strikes} times running this job",
+                            )
+                        )
+                        stats.poisoned += 1
+                        remaining.remove(culprit)
+                        careful = False
+                else:
+                    # Batch breakage cannot be attributed; after a second
+                    # breakage, probe jobs one at a time to find the
+                    # poison without punishing innocent bystanders.
+                    careful = pool_breaks >= 2
+        if remaining:
+            record_fallback(
+                "run_jobs",
+                f"process pool broke {pool_breaks} times; "
+                f"finishing {len(remaining)} job(s) serially",
+                stacklevel=4,
+            )
+    _run_serial(remaining, opts, stats, failures, complete)
+    return results, failures
 
 
 def run_jobs(
@@ -470,79 +977,85 @@ def run_jobs(
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     heartbeat: float = 5.0,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> List:
     """Execute jobs, returning results in submission order.
 
     ``jobs=1`` (or ``REPRO_JOBS`` unset) runs everything inline; with
     more workers the jobs fan out over a process pool whose workers each
-    cache the traces they need.  *progress* (parallel runs only)
-    receives a :class:`~repro.telemetry.core.JobProgress` heartbeat at
-    least every *heartbeat* seconds.  When a telemetry scope is active,
-    the batch's job count, worker count, and wall time are recorded.
+    cache the traces they need.  *progress* receives a
+    :class:`~repro.telemetry.core.JobProgress` heartbeat on every
+    completion change and at least every *heartbeat* seconds.  When a
+    telemetry scope is active, the batch's job count, worker count, wall
+    time, and resilience counters are recorded.
 
     When a result store is active (``REPRO_RESULT_STORE`` or
-    ``--result-store``), each cacheable job is looked up before
-    dispatch and inserted after: a warm store satisfies the whole batch
-    without running a single simulation, and results stay in submission
-    order either way.
+    ``--result-store``), each cacheable job is looked up before dispatch
+    and its result flushed back **as it completes** — not at batch end —
+    so an interrupted or crashed batch keeps every finished point and a
+    rerun (or ``--resume``) continues where it stopped.
+
+    *resilience* (default: from ``REPRO_JOB_TIMEOUT``/``REPRO_RETRIES``)
+    governs per-job timeouts, bounded retry with exponential backoff,
+    broken-pool recovery, and poison-job exclusion; jobs that still fail
+    raise :class:`JobFailedError` *after* the rest of the batch has
+    completed and been flushed.
     """
     job_list = list(job_list)
+    opts = resolve_resilience(resilience)
     store = current_store()
     scope = _telemetry_scope()
     started = time.perf_counter() if scope is not None else 0.0
 
     # Consult the store first: hits fill their result slots directly,
-    # misses keep (slot, job, key) so computed results can be merged
-    # back — and inserted — in submission order.
+    # misses become pending entries whose computed results are flushed
+    # back — and merged — in submission order.
     results: List = [None] * len(job_list)
-    misses: List[Tuple[int, Job, Optional[ResultKey]]] = []
+    entries: List[_Pending] = []
     hits = 0
     consulted_misses = 0
     bytes_read = 0
-    if store is None:
-        misses = [(index, job, None) for index, job in enumerate(job_list)]
-    else:
-        for index, job in enumerate(job_list):
-            key = _store_key(job)
-            if key is not None:
-                cached, nbytes = store.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    hits += 1
-                    bytes_read += nbytes
-                    continue
-                consulted_misses += 1
-            misses.append((index, job, key))
+    for index, job in enumerate(job_list):
+        key = _store_key(job) if store is not None else None
+        if key is not None:
+            cached, nbytes = store.get(key)
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+                bytes_read += nbytes
+                continue
+            consulted_misses += 1
+        entries.append(_Pending(index, job, key))
 
-    pending_jobs = [job for _, job, _ in misses]
-    workers = min(resolve_jobs(jobs), len(pending_jobs)) if pending_jobs else 1
-    if workers <= 1:
-        computed = [execute_job(job) for job in pending_jobs]
-        if progress is not None and hits and not pending_jobs:
+    workers = min(resolve_jobs(jobs), len(entries)) if entries else 1
+    stats = _BatchStats()
+    failures: List[JobFailure] = []
+    if not entries:
+        if progress is not None and hits:
             # Fully warm batch: one summary heartbeat instead of silence.
             progress(JobProgress(hits, len(job_list), 0.0, hits))
+        computed: Dict[int, object] = {}
+    elif workers <= 1:
+        computed, failures = _execute_entries(
+            entries, 1, opts, store, stats, progress, heartbeat, len(job_list), hits
+        )
     else:
-        initializer, initargs, segments = _pool_setup(_distinct_trace_keys(pending_jobs))
+        initializer, initargs, segments, note = _pool_setup(
+            _distinct_trace_keys([entry.job for entry in entries])
+        )
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=initializer,
-                initargs=initargs,
-            ) as pool:
-                futures = [pool.submit(execute_job, job) for job in pending_jobs]
-                computed = _collect(
-                    futures, progress, heartbeat, total=len(job_list), store_hits=hits
-                )
+            computed, failures = _execute_entries(
+                entries, workers, opts, store, stats, progress, heartbeat,
+                len(job_list), hits, pool_env=(initializer, initargs), note=note,
+            )
         finally:
             if segments:
                 from ..traces.packed import release_shared_segments
 
                 release_shared_segments(segments)
 
-    for (index, _, key), result in zip(misses, computed):
-        results[index] = result
-        if store is not None and key is not None:
-            store.put(key, result)
+    for slot, outcome in computed.items():
+        results[slot] = outcome
 
     if scope is not None and job_list:
         scope.record_job_batch(
@@ -550,6 +1063,12 @@ def run_jobs(
         )
         if store is not None:
             scope.record_store(hits, consulted_misses, bytes_read)
+        if stats.any():
+            scope.record_resilience(
+                stats.retries, stats.timeouts, stats.pool_rebuilds, stats.poisoned
+            )
+    if failures:
+        raise JobFailedError(failures)
     return results
 
 
@@ -560,6 +1079,7 @@ def run_experiments(
     jobs: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     heartbeat: float = 5.0,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> List[ExperimentOutcome]:
     """Run whole experiment modules, optionally in parallel.
 
@@ -567,14 +1087,22 @@ def run_experiments(
     finished first, so the rendered output of a parallel run is
     identical to the serial one.  *progress* behaves as in
     :func:`run_jobs`: a heartbeat per completion change and at least
-    every *heartbeat* seconds of pool time.
+    every *heartbeat* seconds of pool time.  Experiment modules are not
+    store-cacheable, but retries, timeouts, and broken-pool recovery
+    (*resilience*) apply exactly as in :func:`run_jobs`.
     """
     job_list = [ExperimentJob(name, scale, seed) for name in names]
+    opts = resolve_resilience(resilience)
+    entries = [_Pending(index, job, None) for index, job in enumerate(job_list)]
     workers = min(resolve_jobs(jobs), len(job_list)) if job_list else 1
     scope = _telemetry_scope()
     started = time.perf_counter() if scope is not None else 0.0
+    stats = _BatchStats()
+    failures: List[JobFailure] = []
     if workers <= 1:
-        outcomes = [execute_job(job) for job in job_list]
+        computed, failures = _execute_entries(
+            entries, 1, opts, None, stats, progress, heartbeat, len(job_list), 0
+        )
     else:
         # Build the suite once in the parent before forking: fork-based
         # platforms then share the materialized traces copy-on-write, and
@@ -583,15 +1111,12 @@ def run_experiments(
         # shared memory is unavailable).
         suite(scale, seed)
         suite_keys = tuple(TraceKey(name, scale, seed) for name in BENCHMARK_NAMES)
-        initializer, initargs, segments = _pool_setup(suite_keys)
+        initializer, initargs, segments, note = _pool_setup(suite_keys)
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=initializer,
-                initargs=initargs,
-            ) as pool:
-                futures = [pool.submit(execute_job, job) for job in job_list]
-                outcomes = _collect(futures, progress, heartbeat)
+            computed, failures = _execute_entries(
+                entries, workers, opts, None, stats, progress, heartbeat,
+                len(job_list), 0, pool_env=(initializer, initargs), note=note,
+            )
         finally:
             if segments:
                 from ..traces.packed import release_shared_segments
@@ -601,4 +1126,10 @@ def run_experiments(
         scope.record_job_batch(
             "ExperimentJob", len(job_list), workers, time.perf_counter() - started
         )
-    return outcomes
+        if stats.any():
+            scope.record_resilience(
+                stats.retries, stats.timeouts, stats.pool_rebuilds, stats.poisoned
+            )
+    if failures:
+        raise JobFailedError(failures)
+    return [computed[index] for index in range(len(job_list))]

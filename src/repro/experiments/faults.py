@@ -1,0 +1,228 @@
+"""Deterministic fault injection for the experiment engine.
+
+Testing a resilience layer against *real* worker crashes, hangs, and
+corrupt payloads is flaky by construction, so the engine carries its own
+fault harness: a declarative plan that makes the Nth job of a batch fail
+in a chosen way for a chosen number of attempts.  The plan travels
+through the ``REPRO_FAULT_PLAN`` environment variable, so pool workers —
+fork or spawn — inject the same faults the parent would, and tests (plus
+the CI chaos job) get bit-reproducible failure schedules.
+
+Plan grammar (comma-separated clauses)::
+
+    ACTION@INDEX[xCOUNT][:SECONDS]
+
+    crash@3        job 3 raises InjectedFault on its first attempt
+    crash@3x2      ... on its first two attempts (succeeds on the third)
+    kill@5x*       job 5 hard-kills its worker process on every attempt
+                   (poisons the pool; in-process execution raises instead)
+    hang@2:30      job 2 sleeps 30s before running (trips a --job-timeout)
+    corrupt@0      job 0 returns a CorruptPayload instead of its result
+    interrupt@4    job 4 raises KeyboardInterrupt (simulated Ctrl-C)
+
+``INDEX`` is the job's submission index within its batch (the order the
+jobs were handed to ``run_jobs``), ``COUNT`` is how many attempts the
+fault affects (default 1, ``*`` = every attempt), and ``SECONDS`` is the
+hang duration (default 30).  A fault that affects attempts ``< COUNT``
+composes naturally with the engine's retry loop: ``crash@3x2`` tests
+retry-then-succeed, ``crash@3x*`` tests retry exhaustion.
+
+The engine calls :func:`maybe_inject` with ``(index, attempt)`` before
+executing each job; with no plan configured the call is one cached
+environment check.  Tests may also install a plan in-process via
+:func:`set_plan` (serial execution only — workers read the environment).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..common.errors import ConfigurationError
+
+__all__ = [
+    "ENV_FAULT_PLAN",
+    "ACTIONS",
+    "FaultClause",
+    "FaultPlan",
+    "InjectedFault",
+    "CorruptPayload",
+    "parse_plan",
+    "active_plan",
+    "set_plan",
+    "maybe_inject",
+]
+
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+ACTIONS = ("crash", "kill", "hang", "corrupt", "interrupt")
+
+#: COUNT value meaning "every attempt".
+ALWAYS = -1
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected job failure (the harness's 'crash')."""
+
+
+@dataclass(frozen=True)
+class CorruptPayload:
+    """Sentinel returned in place of a real result by a ``corrupt`` fault.
+
+    Picklable on purpose: it must survive the trip back from a worker so
+    the engine's payload check — not the transport — rejects it.
+    """
+
+    index: int
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One scheduled fault: *action* on job *index* for *count* attempts."""
+
+    action: str
+    index: int
+    count: int = 1
+    seconds: float = 30.0
+
+    def applies(self, index: int, attempt: int) -> bool:
+        if index != self.index:
+            return False
+        return self.count == ALWAYS or attempt < self.count
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed fault schedule, matched by (job index, attempt number)."""
+
+    clauses: Tuple[FaultClause, ...]
+
+    def clause_for(self, index: int, attempt: int) -> Optional[FaultClause]:
+        for clause in self.clauses:
+            if clause.applies(index, attempt):
+                return clause
+        return None
+
+
+def parse_plan(text: str) -> FaultPlan:
+    """Parse ``ACTION@INDEX[xCOUNT][:SECONDS]`` clauses into a plan."""
+    clauses = []
+    for raw_clause in text.split(","):
+        raw_clause = raw_clause.strip()
+        if not raw_clause:
+            continue
+        action, sep, rest = raw_clause.partition("@")
+        if not sep or action not in ACTIONS:
+            raise ConfigurationError(
+                f"fault clause {raw_clause!r}: expected ACTION@INDEX with "
+                f"ACTION one of {', '.join(ACTIONS)}"
+            )
+        seconds = 30.0
+        if ":" in rest:
+            rest, _, raw_seconds = rest.partition(":")
+            try:
+                seconds = float(raw_seconds)
+            except ValueError:
+                raise ConfigurationError(
+                    f"fault clause {raw_clause!r}: bad duration {raw_seconds!r}"
+                ) from None
+        count = 1
+        if "x" in rest:
+            rest, _, raw_count = rest.partition("x")
+            if raw_count == "*":
+                count = ALWAYS
+            else:
+                try:
+                    count = int(raw_count)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"fault clause {raw_clause!r}: bad count {raw_count!r}"
+                    ) from None
+                if count < 1:
+                    raise ConfigurationError(
+                        f"fault clause {raw_clause!r}: count must be at least 1"
+                    )
+        try:
+            index = int(rest)
+        except ValueError:
+            raise ConfigurationError(
+                f"fault clause {raw_clause!r}: bad job index {rest!r}"
+            ) from None
+        if index < 0:
+            raise ConfigurationError(f"fault clause {raw_clause!r}: index must be >= 0")
+        clauses.append(FaultClause(action, index, count, seconds))
+    return FaultPlan(tuple(clauses))
+
+
+# -- the active plan ----------------------------------------------------------
+
+_OVERRIDE: Optional[FaultPlan] = None
+#: (env text, parsed plan) cache so the per-job check stays one dict read.
+_PARSED: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def set_plan(plan) -> Optional[FaultPlan]:
+    """Install a process-local plan (a FaultPlan, a spec string, or None).
+
+    Test-only hook: worker processes never see it — use the
+    ``REPRO_FAULT_PLAN`` environment variable to reach a pool.
+    """
+    global _OVERRIDE
+    if plan is None:
+        _OVERRIDE = None
+    elif isinstance(plan, FaultPlan):
+        _OVERRIDE = plan
+    else:
+        _OVERRIDE = parse_plan(str(plan))
+    return _OVERRIDE
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The in-process override, else the plan from ``REPRO_FAULT_PLAN``."""
+    global _PARSED
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    text = os.environ.get(ENV_FAULT_PLAN, "")
+    if not text:
+        return None
+    if text != _PARSED[0]:
+        _PARSED = (text, parse_plan(text))
+    return _PARSED[1]
+
+
+def _in_worker_process() -> bool:
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_inject(index: int, attempt: int) -> Optional[CorruptPayload]:
+    """Fire the scheduled fault for (job *index*, *attempt*), if any.
+
+    ``crash`` raises :class:`InjectedFault`; ``kill`` hard-exits the
+    worker process (raises in-process, where ``os._exit`` would take the
+    whole run down); ``hang`` sleeps, relying on the job timeout to cut
+    it short; ``corrupt`` returns a :class:`CorruptPayload` the engine
+    must reject; ``interrupt`` raises ``KeyboardInterrupt``.  Returns
+    None when no fault applies (the overwhelmingly common case).
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    clause = plan.clause_for(index, attempt)
+    if clause is None:
+        return None
+    if clause.action == "crash":
+        raise InjectedFault(f"injected crash: job {index}, attempt {attempt}")
+    if clause.action == "kill":
+        if _in_worker_process():
+            os._exit(86)
+        raise InjectedFault(f"injected kill (in-process): job {index}, attempt {attempt}")
+    if clause.action == "hang":
+        time.sleep(clause.seconds)
+        return None
+    if clause.action == "interrupt":
+        raise KeyboardInterrupt(f"injected interrupt: job {index}, attempt {attempt}")
+    return CorruptPayload(index)

@@ -24,7 +24,11 @@ PAPER_AVERAGE_D = 39.0
 
 
 def run(
-    traces=None, scale: Optional[int] = None, seed: int = 0, jobs: Optional[int] = None
+    traces=None,
+    scale: Optional[int] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    resilience=None,
 ) -> FigureResult:
     traces = list(traces) if traces is not None else suite(scale, seed)
     config = CacheConfig(4096, 16)
@@ -32,7 +36,7 @@ def run(
     specs = level_point_specs(traces, config, classify=True)
     if specs is not None:
         # Declarative points through the engine (parallel with jobs > 1).
-        summaries = run_point_specs(specs, jobs=jobs)
+        summaries = run_point_specs(specs, jobs=jobs, resilience=resilience)
         i_pct = [percent(s.conflict_misses, s.demand_misses) for s in summaries[: len(traces)]]
         d_pct = [percent(s.conflict_misses, s.demand_misses) for s in summaries[len(traces):]]
     else:

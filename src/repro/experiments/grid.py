@@ -97,7 +97,7 @@ class GridSpec:
 
 
 def _parallel_rows(
-    traces, spec: GridSpec, side: str, jobs: int, warn: bool = True
+    traces, spec: GridSpec, side: str, jobs: int, warn: bool = True, resilience=None
 ) -> Optional[List[List]]:
     """Grid rows via the engine, or None when the sweep is not job-able.
 
@@ -157,7 +157,7 @@ def _parallel_rows(
                         )
                     )
                     points.append((trace.name, size_kb, line_size, label))
-    summaries = run_jobs(job_list, jobs=jobs)
+    summaries = run_jobs(job_list, jobs=jobs, resilience=resilience)
     return [
         [
             name,
@@ -178,6 +178,7 @@ def sweep_grid(
     side: str = "d",
     experiment_id: str = "grid",
     jobs: Optional[int] = None,
+    resilience=None,
 ) -> TableResult:
     """Run every grid point for every trace; long-format results.
 
@@ -199,7 +200,12 @@ def sweep_grid(
     rows: Optional[List[List]] = None
     if resolve_jobs(jobs) > 1 or current_store() is not None:
         rows = _parallel_rows(
-            traces, spec, side, resolve_jobs(jobs), warn=resolve_jobs(jobs) > 1
+            traces,
+            spec,
+            side,
+            resolve_jobs(jobs),
+            warn=resolve_jobs(jobs) > 1,
+            resilience=resilience,
         )
     if rows is None:
         rows = []

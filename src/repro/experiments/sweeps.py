@@ -159,6 +159,7 @@ def batch_entry_sweeps(
     sides: Sequence[str] = ("i", "d"),
     max_entries: int = 15,
     jobs=None,
+    resilience=None,
 ) -> List[EntrySweep]:
     """Entry sweeps for every (side, trace) pair, in nested order.
 
@@ -191,7 +192,7 @@ def batch_entry_sweeps(
                 )
                 for side, trace in pairs
             ]
-            return run_jobs(job_list, jobs=jobs)
+            return run_jobs(job_list, jobs=jobs, resilience=resilience)
         if resolve_jobs(jobs) > 1:
             _note_fallback("batch_entry_sweeps", traces, keys)
     return [sweep_fn(trace.stream(side), config, max_entries) for side, trace in pairs]
@@ -217,6 +218,7 @@ def batch_run_sweeps(
     entries: int = 4,
     max_run: int = 16,
     jobs=None,
+    resilience=None,
 ) -> List[RunLengthSweep]:
     """Stream-buffer run sweeps for every (side, trace) pair, nested order.
 
@@ -241,7 +243,7 @@ def batch_run_sweeps(
                 )
                 for side, trace in pairs
             ]
-            return run_jobs(job_list, jobs=jobs)
+            return run_jobs(job_list, jobs=jobs, resilience=resilience)
         if resolve_jobs(jobs) > 1:
             _note_fallback("batch_run_sweeps", traces, keys)
     return [

@@ -6,6 +6,7 @@ from .core import (
     ResultKey,
     ResultStore,
     StoreStats,
+    StoreWriteWarning,
     current_store,
     set_store,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "ResultKey",
     "ResultStore",
     "StoreStats",
+    "StoreWriteWarning",
     "current_store",
     "set_store",
 ]

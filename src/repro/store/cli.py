@@ -26,7 +26,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["stats", "gc", "clear"],
         help=(
             "stats: entry counts and size; gc: drop entries from superseded "
-            "schema versions; clear: drop every entry"
+            "schema versions plus orphaned temp files; clear: drop every entry"
         ),
     )
     parser.add_argument(
@@ -56,7 +56,7 @@ def run_store_command(argv: Optional[List[str]] = None) -> int:
         print(store.stats().render())
     elif args.action == "gc":
         removed = store.gc()
-        print(f"removed {removed} stale entries from {store.root}")
+        print(f"removed {removed} stale entries/tmp files from {store.root}")
     else:
         removed = store.clear()
         print(f"removed {removed} entries from {store.root}")

@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Tuple
@@ -47,10 +48,15 @@ __all__ = [
     "ENV_RESULT_STORE",
     "ResultKey",
     "StoreStats",
+    "StoreWriteWarning",
     "ResultStore",
     "current_store",
     "set_store",
 ]
+
+
+class StoreWriteWarning(UserWarning):
+    """The result store could not persist an entry (run continues uncached)."""
 
 #: Version of the stored-result schema: part of every key, so bumping it
 #: orphans (and :meth:`ResultStore.gc` later removes) all older entries.
@@ -97,6 +103,8 @@ class StoreStats:
     total_bytes: int = 0
     #: Entries under version directories other than the current schema.
     stale_entries: int = 0
+    #: ``.tmp-*`` files orphaned by writers that died mid-insert.
+    orphaned_tmp: int = 0
 
     def render(self) -> str:
         lines = [
@@ -104,6 +112,7 @@ class StoreStats:
             f"  schema version:  {RESULT_SCHEMA_VERSION}",
             f"  current entries: {self.entries}",
             f"  stale entries:   {self.stale_entries}",
+            f"  orphaned tmp:    {self.orphaned_tmp}",
             f"  total size:      {self.total_bytes} bytes",
         ]
         return "\n".join(lines)
@@ -119,6 +128,7 @@ class ResultStore:
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        self._warned_write = False
 
     # -- paths ----------------------------------------------------------------
 
@@ -159,32 +169,50 @@ class ResultStore:
         Serialization failures for unknown result types propagate (a
         programming error); filesystem races lose benignly because the
         final ``os.replace`` is atomic.
+
+        Filesystem failures — ``ENOSPC``, a read-only store directory,
+        permission loss mid-sweep — must never take a long run down when
+        the store is a pure accelerator: the first one triggers a single
+        :class:`StoreWriteWarning` and every insert after it degrades to
+        a silent no-op (reads keep working).
         """
+        # Encode before touching the filesystem so unknown-result-type
+        # errors (programming bugs) still propagate loudly.
         payload = {
             "result_schema": RESULT_SCHEMA_VERSION,
             "key": key.as_dict(),
             "result": encode_result(result),
         }
-        path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            mode="w",
-            encoding="utf-8",
-            dir=path.parent,
-            prefix=".tmp-",
-            suffix=".json",
-            delete=False,
-        )
         try:
-            with handle:
-                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
-            os.replace(handle.name, path)
-        except BaseException:
+            path = self._entry_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                mode="w",
+                encoding="utf-8",
+                dir=path.parent,
+                prefix=".tmp-",
+                suffix=".json",
+                delete=False,
+            )
             try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            raise
+                with handle:
+                    json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+                os.replace(handle.name, path)
+            except BaseException:
+                try:
+                    os.unlink(handle.name)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    f"result store at {self.root} is not writable "
+                    f"({exc}); continuing without persisting results",
+                    StoreWriteWarning,
+                    stacklevel=2,
+                )
 
     # -- maintenance ----------------------------------------------------------
 
@@ -199,6 +227,17 @@ class ResultStore:
             for path in sorted(version_dir.glob("*/*.json")):
                 yield path, version_dir.name == current
 
+    def _iter_tmp_files(self):
+        """Yield ``.tmp-*`` files orphaned by writers that died mid-insert.
+
+        (``glob("*/*.json")`` above never matches them: pathlib's ``*``
+        skips dotfiles, which is exactly why in-flight writes are
+        invisible to :meth:`stats` and entry iteration.)
+        """
+        if not self.root.is_dir():
+            return
+        yield from sorted(self.root.rglob(".tmp-*.json"))
+
     def stats(self) -> StoreStats:
         stats = StoreStats(root=str(self.root))
         for path, is_current in self._iter_entries():
@@ -208,15 +247,25 @@ class ResultStore:
                 stats.entries += 1
             else:
                 stats.stale_entries += 1
+        stats.orphaned_tmp = sum(1 for _ in self._iter_tmp_files())
         return stats
 
     def gc(self) -> int:
-        """Remove entries from superseded schema versions; return count."""
+        """Remove superseded-schema entries and orphaned temp files.
+
+        Returns the number of files removed.  Temp files are left behind
+        only by writers that died between creating one and the atomic
+        ``os.replace`` (a kill -9, an injected worker crash), so they
+        are always garbage by the time ``gc`` runs.
+        """
         removed = 0
         for path, is_current in self._iter_entries():
             if not is_current:
                 path.unlink(missing_ok=True)
                 removed += 1
+        for path in self._iter_tmp_files():
+            path.unlink(missing_ok=True)
+            removed += 1
         self._prune_empty_dirs()
         return removed
 

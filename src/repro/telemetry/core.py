@@ -147,22 +147,42 @@ class JobProgress:
 
     ``store_hits`` counts jobs of the batch satisfied from the result
     store instead of simulated; they are included in ``done``.
+    ``retries`` and ``recoveries`` (re-run job attempts and worker-pool
+    rebuilds so far) stay zero on a healthy batch; ``note`` carries a
+    degradation reason — e.g. why packed shared-memory trace delivery
+    was unavailable — when the batch is running in a reduced mode.
     """
 
-    __slots__ = ("done", "total", "elapsed", "store_hits")
+    __slots__ = ("done", "total", "elapsed", "store_hits", "retries", "recoveries", "note")
 
     def __init__(
-        self, done: int, total: int, elapsed: float, store_hits: int = 0
+        self,
+        done: int,
+        total: int,
+        elapsed: float,
+        store_hits: int = 0,
+        retries: int = 0,
+        recoveries: int = 0,
+        note: str = "",
     ) -> None:
         self.done = done
         self.total = total
         self.elapsed = elapsed
         self.store_hits = store_hits
+        self.retries = retries
+        self.recoveries = recoveries
+        self.note = note
 
     def __str__(self) -> str:
         base = f"{self.done}/{self.total} jobs done after {self.elapsed:.1f}s"
         if self.store_hits:
             base += f" ({self.store_hits} from store)"
+        if self.retries:
+            base += f" [{self.retries} retried]"
+        if self.recoveries:
+            base += f" [{self.recoveries} pool rebuilds]"
+        if self.note:
+            base += f" [{self.note}]"
         return base
 
 
@@ -195,6 +215,11 @@ class MetricsScope:
         self.store_hits = 0
         self.store_misses = 0
         self.store_bytes_read = 0
+        # Resilience events (retries, timeouts, pool recoveries).
+        self.job_retries = 0
+        self.job_timeouts = 0
+        self.pool_rebuilds = 0
+        self.poisoned_jobs = 0
 
     # -- counters/timers ------------------------------------------------------
 
@@ -223,6 +248,15 @@ class MetricsScope:
         self.store_hits += hits
         self.store_misses += misses
         self.store_bytes_read += bytes_read
+
+    def record_resilience(
+        self, retries: int, timeouts: int, pool_rebuilds: int, poisoned: int
+    ) -> None:
+        """Accumulate one batch's fault-recovery activity."""
+        self.job_retries += retries
+        self.job_timeouts += timeouts
+        self.pool_rebuilds += pool_rebuilds
+        self.poisoned_jobs += poisoned
 
     # -- simulation observations ----------------------------------------------
 

@@ -89,6 +89,9 @@ _OPTIONAL_SCHEMA: Dict[str, tuple] = {
     # Result-store traffic: {"hits": int, "misses": int, "bytes_read": int};
     # empty when no result store was active for the run.
     "store": (dict,),
+    # Fault-recovery activity: {"retries": int, "timeouts": int,
+    # "pool_rebuilds": int, "poisoned_jobs": int}; empty on healthy runs.
+    "resilience": (dict,),
 }
 
 _MODES = ("serial", "parallel")
@@ -145,6 +148,8 @@ class RunRecord:
     engine: Dict[str, list] = field(default_factory=lambda: {"job_batches": [], "fallbacks": []})
     #: Result-store traffic for the run (empty when no store was active).
     store: Dict[str, int] = field(default_factory=dict)
+    #: Fault-recovery activity (empty when the run needed none).
+    resilience: Dict[str, int] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
@@ -209,6 +214,21 @@ def build_run_record(
             if (scope.store_hits or scope.store_misses)
             else {}
         ),
+        resilience=(
+            {
+                "retries": scope.job_retries,
+                "timeouts": scope.job_timeouts,
+                "pool_rebuilds": scope.pool_rebuilds,
+                "poisoned_jobs": scope.poisoned_jobs,
+            }
+            if (
+                scope.job_retries
+                or scope.job_timeouts
+                or scope.pool_rebuilds
+                or scope.poisoned_jobs
+            )
+            else {}
+        ),
     )
 
 
@@ -240,7 +260,9 @@ def validate_record(payload: Mapping) -> None:
         if key in payload and not isinstance(payload[key], types):
             expected = "/".join(t.__name__ for t in types)
             raise ValueError(f"run record field {key!r} must be {expected}, got {payload[key]!r}")
-    groups = ("l1i", "l1d", "l2", "level") + (("store",) if "store" in payload else ())
+    groups = ("l1i", "l1d", "l2", "level") + tuple(
+        key for key in ("store", "resilience") if key in payload
+    )
     for group in groups:
         for name, count in payload[group].items():
             if not isinstance(name, str) or isinstance(count, bool) or not isinstance(count, int):

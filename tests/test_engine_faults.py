@@ -1,0 +1,384 @@
+"""Tests for the engine's resilience layer, driven by fault injection.
+
+The contract under test: transient failures retry and succeed, permanent
+failures surface as :class:`JobFailedError` *after* the rest of the
+batch completed and was flushed, a dead worker never takes the batch
+down (the pool is rebuilt and only unfinished jobs re-run), a hung job
+is cut short by ``--job-timeout``, and an interrupted run resumes from
+the result store with zero re-simulations of flushed work.
+
+Every failure here is injected through :mod:`repro.experiments.faults`,
+so the schedule is deterministic: ``crash@2x*`` means job 2 fails on
+every attempt, on any machine, every time.
+"""
+
+import os
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigurationError
+from repro.experiments import faults
+from repro.experiments.engine import (
+    JobFailedError,
+    LevelJob,
+    ResilienceOptions,
+    run_jobs,
+    validate_job_timeout,
+    validate_retries,
+)
+from repro.experiments.grid import GridSpec, sweep_grid
+from repro.experiments.workloads import materialized_trace, suite
+from repro.hierarchy.level import CacheLevel
+from repro.specs import SystemSpec, parse_structure_code
+from repro.store import current_store
+from repro.store.core import ResultStore, StoreWriteWarning
+from repro.telemetry import core as telemetry
+from repro.telemetry.core import JobProgress, ParallelFallbackWarning
+from repro.telemetry.record import build_run_record, validate_record
+
+SCALE = 1_500
+CONFIG = CacheConfig(4096, 16)
+
+#: Fast retries: tests never need real backoff sleeps.
+FAST = ResilienceOptions(retries=2, backoff_base=0.0)
+NO_RETRY = ResilienceOptions(retries=0, backoff_base=0.0)
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_plan(monkeypatch):
+    """No fault plan leaks between tests (in-process or via environment)."""
+    monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+    faults.set_plan(None)
+    yield
+    faults.set_plan(None)
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+    yield current_store()
+
+
+@pytest.fixture
+def no_store(monkeypatch):
+    monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+
+
+@pytest.fixture
+def sim_counter(monkeypatch):
+    """Count CacheLevel constructions: every simulation builds at least one."""
+    counts = {"levels": 0}
+    original = CacheLevel.__init__
+
+    def counting(self, *args, **kwargs):
+        counts["levels"] += 1
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(CacheLevel, "__init__", counting)
+    return counts
+
+
+def level_jobs(count=4, side="d"):
+    names = ("ccom", "grr", "yacc", "met", "linpack", "liver")[:count]
+    return [
+        LevelJob(SystemSpec.for_level(materialized_trace(name, SCALE), CONFIG, side=side))
+        for name in names
+    ]
+
+
+class TestFaultPlanParsing:
+    def test_actions_and_fields(self):
+        plan = faults.parse_plan("crash@3x2, kill@5x*, hang@2:7.5, corrupt@0")
+        assert [c.action for c in plan.clauses] == ["crash", "kill", "hang", "corrupt"]
+        assert plan.clauses[0] == faults.FaultClause("crash", 3, count=2)
+        assert plan.clauses[1].count == faults.ALWAYS
+        assert plan.clauses[2].seconds == 7.5
+
+    def test_attempt_windows(self):
+        clause = faults.parse_plan("crash@3x2").clauses[0]
+        assert clause.applies(3, 0) and clause.applies(3, 1)
+        assert not clause.applies(3, 2)
+        assert not clause.applies(4, 0)
+        always = faults.parse_plan("kill@1x*").clauses[0]
+        assert always.applies(1, 99)
+
+    @pytest.mark.parametrize(
+        "text",
+        ["explode@1", "crash", "crash@", "crash@-1", "crash@1x0", "crash@1xq", "hang@1:soon"],
+    )
+    def test_malformed_plans_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            faults.parse_plan(text)
+
+    def test_env_plan_reaches_maybe_inject(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "crash@7")
+        with pytest.raises(faults.InjectedFault):
+            faults.maybe_inject(7, 0)
+        assert faults.maybe_inject(7, 1) is None
+        assert faults.maybe_inject(6, 0) is None
+
+    def test_no_plan_is_a_noop(self):
+        assert faults.maybe_inject(0, 0) is None
+
+
+class TestValidators:
+    def test_job_timeout_rejects_non_positive(self):
+        for bad in (0, -1, -0.5):
+            with pytest.raises(ConfigurationError):
+                validate_job_timeout(bad)
+        assert validate_job_timeout(1.5) == 1.5
+
+    def test_retries_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            validate_retries(-1)
+        assert validate_retries(0) == 0
+
+    def test_env_values_resolved_and_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_RETRIES", "4")
+        assert validate_job_timeout(None) == 2.5
+        assert validate_retries(None) == 4
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "soon")
+        with pytest.raises(ConfigurationError):
+            validate_job_timeout(None)
+        monkeypatch.setenv("REPRO_RETRIES", "-2")
+        with pytest.raises(ConfigurationError):
+            validate_retries(None)
+
+
+class TestSerialResilience:
+    def test_retry_then_succeed(self, no_store):
+        jobs = level_jobs(2)
+        clean = run_jobs(jobs)
+        faults.set_plan("crash@0x2")
+        assert run_jobs(jobs, resilience=FAST) == clean
+
+    def test_retry_exhaustion_raises_after_finishing_batch(self, no_store, store):
+        jobs = level_jobs(4)
+        faults.set_plan("crash@1x*")
+        with pytest.raises(JobFailedError) as excinfo:
+            run_jobs(jobs, resilience=FAST)
+        assert [f.index for f in excinfo.value.failures] == [1]
+        assert "injected crash" in str(excinfo.value)
+        # The three healthy jobs were still executed and checkpointed.
+        assert store.stats().entries == 3
+
+    def test_corrupt_payload_is_retried(self, no_store):
+        jobs = level_jobs(1)
+        clean = run_jobs(jobs)
+        faults.set_plan("corrupt@0x1")
+        assert run_jobs(jobs, resilience=FAST) == clean
+        faults.set_plan("corrupt@0x*")
+        with pytest.raises(JobFailedError) as excinfo:
+            run_jobs(jobs, resilience=NO_RETRY)
+        assert "corrupt result payload" in excinfo.value.failures[0].reason
+
+    def test_serial_timeout_cuts_hung_job(self, no_store):
+        jobs = level_jobs(2)
+        faults.set_plan("hang@0:30")
+        opts = ResilienceOptions(job_timeout=0.3, retries=0, backoff_base=0.0)
+        with pytest.raises(JobFailedError) as excinfo:
+            run_jobs(jobs, resilience=opts)
+        assert "timed out after 0.3s" in excinfo.value.failures[0].reason
+
+    def test_interrupt_preserves_flushed_results(self, store):
+        jobs = level_jobs(4)
+        faults.set_plan("interrupt@2")
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs(jobs, resilience=NO_RETRY)
+        # Jobs 0 and 1 completed before the injected Ctrl-C and survive.
+        assert store.stats().entries == 2
+
+    def test_retries_recorded_on_scope(self, no_store):
+        faults.set_plan("crash@0x1")
+        with telemetry.scoped() as scope:
+            run_jobs(level_jobs(1), resilience=FAST)
+        assert scope.job_retries == 1
+        record = build_run_record(scope, run="x", config=None, wall_time_s=0.1)
+        payload = record.as_dict()
+        validate_record(payload)
+        assert payload["resilience"]["retries"] == 1
+
+
+class TestPoolResilience:
+    def test_dead_worker_recovers(self, no_store, monkeypatch):
+        jobs = level_jobs(4)
+        clean = run_jobs(jobs)
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "kill@1x1")
+        with telemetry.scoped() as scope:
+            assert run_jobs(jobs, jobs=2, resilience=FAST) == clean
+        assert scope.pool_rebuilds >= 1
+
+    def test_poison_job_is_isolated(self, store, monkeypatch):
+        jobs = level_jobs(4)
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "kill@1x*")
+        with telemetry.scoped() as scope:
+            with pytest.raises(JobFailedError) as excinfo:
+                run_jobs(jobs, jobs=2, resilience=FAST)
+        assert [f.index for f in excinfo.value.failures] == [1]
+        assert "poison" in excinfo.value.failures[0].reason
+        assert scope.poisoned_jobs == 1
+        # The other three jobs completed despite the repeated pool kills.
+        assert store.stats().entries == 3
+
+    def test_pool_timeout_reclaims_hung_worker(self, no_store, monkeypatch):
+        jobs = level_jobs(2)
+        clean = run_jobs(jobs)
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "hang@0x1:30")
+        opts = ResilienceOptions(job_timeout=0.5, retries=2, backoff_base=0.0)
+        with telemetry.scoped() as scope:
+            assert run_jobs(jobs, jobs=2, resilience=opts) == clean
+        assert scope.job_timeouts >= 1
+
+    def test_repeated_breakage_falls_back_to_serial(self, no_store, monkeypatch):
+        jobs = level_jobs(2)
+        clean = run_jobs(jobs)
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "kill@0x1,kill@1x1")
+        opts = ResilienceOptions(retries=5, backoff_base=0.0, max_pool_rebuilds=0)
+        # One break exhausts the rebuild budget; the remainder must finish
+        # serially (in-process, where `kill` raises instead of exiting)
+        # with the fallback surfaced, not swallowed.
+        with pytest.warns(ParallelFallbackWarning, match="pool broke"):
+            assert run_jobs(jobs, jobs=2, resilience=opts) == clean
+
+
+class TestCheckpointResume:
+    def test_crash_then_resume_matches_clean_serial_run(
+        self, tmp_path, monkeypatch, sim_counter
+    ):
+        """The acceptance scenario: crash at job N, rerun, identical rows."""
+        traces = suite(SCALE, 0)[:2]
+        spec = GridSpec(
+            cache_sizes_kb=(4,),
+            line_sizes=(16,),
+            structures={"base": None, "vc4": parse_structure_code("vc4")},
+        )
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        reference = sweep_grid(traces, spec, jobs=1)
+
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        faults.set_plan("crash@2x*")
+        with pytest.raises(JobFailedError):
+            sweep_grid(traces, spec, jobs=1, resilience=NO_RETRY)
+        assert current_store().stats().entries == 3  # jobs 0, 1, 3 flushed
+
+        faults.set_plan(None)
+        before = sim_counter["levels"]
+        with telemetry.scoped() as scope:
+            resumed = sweep_grid(traces, spec, jobs=1, resilience=NO_RETRY)
+        assert resumed.rows == reference.rows
+        assert scope.store_hits == 3 and scope.store_misses == 1
+        # Exactly the one unfinished point simulated, nothing re-ran.
+        assert sim_counter["levels"] - before == 1
+
+    def test_fully_warm_resume_is_zero_sim(self, store, sim_counter):
+        jobs = level_jobs(3)
+        run_jobs(jobs)
+        before = sim_counter["levels"]
+        assert run_jobs(jobs) == run_jobs(jobs)
+        assert sim_counter["levels"] == before
+
+
+class TestStoreFailureTolerance:
+    def test_unwritable_store_warns_once_and_continues(self, tmp_path, monkeypatch):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(blocker / "store"))
+        jobs = level_jobs(2)
+        with pytest.warns(StoreWriteWarning, match="not writable"):
+            first = run_jobs(jobs)
+        # Second batch: degraded silently, results still correct.
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", StoreWriteWarning)
+            assert run_jobs(jobs) == first
+
+    def test_gc_removes_orphaned_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fan = store._version_dir() / "ab"
+        fan.mkdir(parents=True)
+        (fan / ".tmp-dead1.json").write_text("{")
+        (fan / ".tmp-dead2.json").write_text("")
+        stats = store.stats()
+        assert stats.orphaned_tmp == 2
+        assert "orphaned tmp:    2" in stats.render()
+        assert store.gc() == 2
+        assert store.stats().orphaned_tmp == 0
+        assert not fan.exists()  # pruned once empty
+
+
+class TestCLIValidation:
+    def run_main(self, argv):
+        from repro.experiments.cli import main
+
+        return main(argv)
+
+    @pytest.mark.parametrize("argv", [["--job-timeout", "0"], ["--job-timeout", "-3"]])
+    def test_non_positive_timeout_exits_2(self, argv, capsys):
+        assert self.run_main(argv) == 2
+        assert "--job-timeout must be positive" in capsys.readouterr().err
+
+    def test_negative_retries_exits_2(self, capsys):
+        assert self.run_main(["--retries", "-1"]) == 2
+        assert "--retries must be at least 0" in capsys.readouterr().err
+
+    def test_malformed_env_retries_exits_2(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_RETRIES", "many")
+        assert self.run_main(["--list"]) == 2
+        assert "REPRO_RETRIES" in capsys.readouterr().err
+
+    def test_resume_without_store_exits_2(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert self.run_main(["--resume", "--list"]) == 2
+        assert "--resume requires a result store" in capsys.readouterr().err
+
+    def test_resume_with_store_accepted(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        assert self.run_main(["--resume", "--list"]) == 0
+
+    def test_flags_exported_to_environment(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        assert self.run_main(["--job-timeout", "9.5", "--retries", "3", "--list"]) == 0
+        assert os.environ["REPRO_JOB_TIMEOUT"] == "9.5"
+        assert os.environ["REPRO_RETRIES"] == "3"
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT")
+        monkeypatch.delenv("REPRO_RETRIES")
+
+
+class TestHeartbeatFields:
+    def test_progress_reports_resilience_activity(self, no_store):
+        faults.set_plan("crash@0x1")
+        beats = []
+        run_jobs(level_jobs(1), progress=beats.append, resilience=FAST)
+        assert beats and beats[-1].done == 1
+        assert beats[-1].retries == 1
+
+    def test_jobprogress_renders_additive_fields(self):
+        text = str(JobProgress(3, 8, 1.0, store_hits=2, retries=1, recoveries=1, note="n"))
+        assert "jobs done" in text
+        assert "[1 retried]" in text and "[1 pool rebuilds]" in text and "[n]" in text
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_CHAOS"), reason="chaos tests run with REPRO_CHAOS=1"
+)
+class TestChaos:
+    """CI chaos mode: a noisy fault schedule over a real parallel grid."""
+
+    def test_grid_survives_mixed_faults(self, tmp_path, monkeypatch):
+        traces = suite(SCALE, 0)[:3]
+        spec = GridSpec(
+            cache_sizes_kb=(2, 4),
+            line_sizes=(16,),
+            structures={"base": None, "vc4": parse_structure_code("vc4")},
+        )
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        reference = sweep_grid(traces, spec, jobs=1)
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+        monkeypatch.setenv(faults.ENV_FAULT_PLAN, "crash@0x2,kill@3x1,corrupt@5x1")
+        opts = ResilienceOptions(retries=3, backoff_base=0.0)
+        chaotic = sweep_grid(traces, spec, jobs=2, resilience=opts)
+        assert chaotic.rows == reference.rows
