@@ -31,6 +31,14 @@ repeated invocation re-simulates nothing and still prints row-for-row
 identical output.  ``repro-experiments store {stats|gc|clear}``
 inspects or cleans the store.
 
+``--backend {auto,python,numpy}`` (or the ``REPRO_BACKEND`` environment
+variable) selects the simulation kernel backend: ``auto`` (the default)
+runs qualifying structure-free points on the vectorized numpy kernel
+when numpy is installed, ``python`` forces the reference interpreter
+everywhere, and ``numpy`` asks for the kernel explicitly (stateful
+structures still fall back to the interpreter — never an error).
+Malformed values exit with status 2 like ``--jobs 0`` does.
+
 Resilience flags: ``--job-timeout SECONDS`` (or ``REPRO_JOB_TIMEOUT``)
 bounds each engine job's wall clock, ``--retries N`` (or
 ``REPRO_RETRIES``, default 2) re-runs transient failures with
@@ -123,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        metavar="BACKEND",
+        default=None,
+        help=(
+            "simulation kernel backend: auto, python, or numpy "
+            "(default: REPRO_BACKEND or auto)"
+        ),
+    )
+    parser.add_argument(
         "--job-timeout",
         metavar="SECONDS",
         type=float,
@@ -169,6 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..store import set_store
 
         set_store(args.result_store)
+    from ..kernels import ENV_BACKEND, validate_backend
     from .engine import (
         ENV_JOB_TIMEOUT,
         ENV_RETRIES,
@@ -179,15 +197,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         job_timeout = validate_job_timeout(args.job_timeout)
         retries = validate_retries(args.retries)
+        backend = None if args.backend is None else validate_backend(args.backend)
     except ConfigurationError as exc:
         print(f"repro-experiments: {exc}", file=sys.stderr)
         return 2
-    # Resilience knobs travel through the environment so every nested
-    # run_jobs call — including those inside pool workers — sees them.
+    # Resilience and backend knobs travel through the environment so
+    # every nested run_jobs call — including those inside pool workers —
+    # sees them.
     if args.job_timeout is not None:
         os.environ[ENV_JOB_TIMEOUT] = str(job_timeout)
     if args.retries is not None:
         os.environ[ENV_RETRIES] = str(retries)
+    if backend is not None:
+        os.environ[ENV_BACKEND] = backend
     if args.resume:
         from ..store import current_store
 

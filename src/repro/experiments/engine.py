@@ -57,6 +57,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..buffers.base import L1Augmentation
 from ..common.errors import ConfigurationError
 from ..common.stats import percent, safe_div
+from ..kernels import NUMPY, PYTHON, select_backend
 from ..specs import SpecError, SystemSpec, TraceSpec, describe, parse_structure_code
 from ..specs import build as build_spec
 from ..specs import spec_hash
@@ -260,9 +261,20 @@ Job = Union[LevelJob, EntrySweepJob, RunSweepJob, ExperimentJob]
 
 
 def execute_job(job: Job):
-    """Run one job in the current process and return its picklable result."""
+    """Run one job in the current process and return its picklable result.
+
+    ``LevelJob``s are backend-dispatched: structure-free specs run on the
+    vectorized numpy kernel when :func:`repro.kernels.select_backend`
+    picks it (spec qualifies, numpy importable, ``REPRO_BACKEND`` not
+    forcing ``python``); both backends return identical summaries, so
+    dispatch is invisible to callers and to the result store.
+    """
     if isinstance(job, LevelJob):
         system = job.system
+        if select_backend(system) == NUMPY:
+            from ..kernels.numpy_backend import simulate_level_summary
+
+            return simulate_level_summary(system)
         addresses = system.trace.trace().stream(system.side)
         run = run_level(
             addresses,
@@ -577,6 +589,38 @@ def _batch_kind(job_list: Sequence[Job]) -> str:
     return kinds.pop() if len(kinds) == 1 else "mixed"
 
 
+def _job_backend(job: Job) -> Optional[str]:
+    """The kernel backend one job will execute on, or None when opaque.
+
+    Sweep jobs replay stateful helper structures, so they always run the
+    interpreter; experiment jobs are opaque here — their inner batches
+    dispatch (and count) per job themselves.
+    """
+    if isinstance(job, LevelJob):
+        return select_backend(job.system)
+    if isinstance(job, (EntrySweepJob, RunSweepJob)):
+        return PYTHON
+    return None
+
+
+def _backend_counts(job_list: Sequence[Job]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for job in job_list:
+        backend = _job_backend(job)
+        if backend is not None:
+            counts[backend] = counts.get(backend, 0) + 1
+    return counts
+
+
+def _backend_note(counts: Dict[str, int]) -> str:
+    """Heartbeat label: one backend name, or a ``numpy:3 python:5`` split."""
+    if not counts:
+        return ""
+    if len(counts) == 1:
+        return next(iter(counts))
+    return " ".join(f"{name}:{counts[name]}" for name in sorted(counts))
+
+
 def _guarded_execute(job: Job, index: int, attempt: int):
     """Run one job with the fault harness consulted first.
 
@@ -633,6 +677,7 @@ class _Reporter:
         store_hits: int,
         stats: _BatchStats,
         note: Optional[str],
+        backend: str = "",
     ) -> None:
         self.progress = progress
         self.heartbeat = heartbeat
@@ -640,6 +685,7 @@ class _Reporter:
         self.store_hits = store_hits
         self.stats = stats
         self.note = note or ""
+        self.backend = backend
         self.completed = store_hits
         self.started = time.perf_counter()
         self._last_count = -1
@@ -661,6 +707,7 @@ class _Reporter:
                 retries=self.stats.retries,
                 recoveries=self.stats.pool_rebuilds,
                 note=self.note,
+                backend=self.backend,
             )
         )
         self._last_count = self.completed
@@ -897,6 +944,7 @@ def _execute_entries(
     store_hits: int,
     pool_env: Optional[Tuple] = None,
     note: Optional[str] = None,
+    backend: str = "",
 ) -> Tuple[Dict[int, object], List[JobFailure]]:
     """Execute pending entries with retries, timeouts, and pool recovery.
 
@@ -907,7 +955,7 @@ def _execute_entries(
     """
     results: Dict[int, object] = {}
     failures: List[JobFailure] = []
-    reporter = _Reporter(progress, heartbeat, total, store_hits, stats, note)
+    reporter = _Reporter(progress, heartbeat, total, store_hits, stats, note, backend)
 
     def complete(entry: _Pending, outcome) -> None:
         results[entry.slot] = outcome
@@ -1030,6 +1078,11 @@ def run_jobs(
     workers = min(resolve_jobs(jobs), len(entries)) if entries else 1
     stats = _BatchStats()
     failures: List[JobFailure] = []
+    # Backend selection is decided up front from the pending specs (store
+    # hits never re-simulate, so they are not counted), surfaced in every
+    # heartbeat and folded into the run record.
+    backends = _backend_counts([entry.job for entry in entries])
+    backend_note = _backend_note(backends)
     if not entries:
         if progress is not None and hits:
             # Fully warm batch: one summary heartbeat instead of silence.
@@ -1037,7 +1090,8 @@ def run_jobs(
         computed: Dict[int, object] = {}
     elif workers <= 1:
         computed, failures = _execute_entries(
-            entries, 1, opts, store, stats, progress, heartbeat, len(job_list), hits
+            entries, 1, opts, store, stats, progress, heartbeat, len(job_list), hits,
+            backend=backend_note,
         )
     else:
         initializer, initargs, segments, note = _pool_setup(
@@ -1047,6 +1101,7 @@ def run_jobs(
             computed, failures = _execute_entries(
                 entries, workers, opts, store, stats, progress, heartbeat,
                 len(job_list), hits, pool_env=(initializer, initargs), note=note,
+                backend=backend_note,
             )
         finally:
             if segments:
@@ -1067,6 +1122,8 @@ def run_jobs(
             scope.record_resilience(
                 stats.retries, stats.timeouts, stats.pool_rebuilds, stats.poisoned
             )
+        if backends:
+            scope.record_backends(backends)
     if failures:
         raise JobFailedError(failures)
     return results

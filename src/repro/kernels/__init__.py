@@ -1,0 +1,207 @@
+"""Simulation kernel backends: whole-trace array passes vs. the interpreter.
+
+The reference simulator walks traces one reference at a time through
+live cache objects — exact, fully general, and bounded by the Python
+interpreter.  This package adds a second implementation of the
+*structure-free* subset of that work: a numpy backend
+(:mod:`repro.kernels.numpy_backend`) that simulates a direct-mapped
+cache level — and the bare split-L1/L2 system — over an entire packed
+trace in vectorized array passes, including 3C miss classification.
+Both backends produce **identical statistics**, pinned by the
+equivalence suite in ``tests/test_kernels.py``; which one runs is a pure
+performance decision.
+
+Backend selection
+-----------------
+
+:func:`select_backend` is the single dispatch point.  It combines three
+inputs:
+
+* the **request** — ``REPRO_BACKEND`` (``auto`` | ``python`` | ``numpy``,
+  default ``auto``) or the CLI's ``--backend`` flag, validated by
+  :func:`validate_backend`;
+* the **spec** — only structure-free
+  :class:`~repro.specs.SystemSpec` points qualify
+  (:func:`disqualification` names the reason otherwise): helper
+  structures (miss/victim caches, stream buffers, stride prefetchers)
+  are stateful per-reference machines the array passes cannot express,
+  so they always run on the reference interpreter;
+* **availability** — numpy is an optional dependency (the ``fast``
+  extra).  When it is missing the python backend runs instead; an
+  explicit ``REPRO_BACKEND=numpy`` request additionally records a
+  one-time :class:`KernelFallbackWarning` so the degradation is never
+  silent.
+
+Selection **never raises for a non-qualifying spec** — a stateful
+structure under ``REPRO_BACKEND=numpy`` silently (and correctly) runs
+the interpreter, so one environment setting can cover a heterogeneous
+sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional, Tuple
+
+from ..common.errors import ConfigurationError
+
+__all__ = [
+    "AUTO",
+    "PYTHON",
+    "NUMPY",
+    "BACKENDS",
+    "ENV_BACKEND",
+    "KernelFallbackWarning",
+    "numpy_available",
+    "numpy_unavailable_reason",
+    "validate_backend",
+    "default_backend",
+    "disqualification",
+    "qualifies",
+    "select_backend",
+]
+
+AUTO = "auto"
+PYTHON = "python"
+NUMPY = "numpy"
+BACKENDS = (AUTO, PYTHON, NUMPY)
+
+#: Environment knob mirrored by the CLI's ``--backend`` flag.
+ENV_BACKEND = "REPRO_BACKEND"
+
+
+class KernelFallbackWarning(UserWarning):
+    """A requested vectorized backend was unavailable; python ran instead."""
+
+
+# -- availability -------------------------------------------------------------
+
+#: ``None`` until probed, then ``(available, reason_if_not)``.
+_NUMPY_PROBE: Optional[Tuple[bool, str]] = None
+_WARNED_UNAVAILABLE = False
+
+
+def _probe_numpy() -> Tuple[bool, str]:
+    global _NUMPY_PROBE
+    if _NUMPY_PROBE is None:
+        try:
+            import numpy  # noqa: F401
+
+            _NUMPY_PROBE = (True, "")
+        except Exception as exc:  # pragma: no cover - depends on environment
+            _NUMPY_PROBE = (False, f"numpy is not importable ({exc!r})")
+    return _NUMPY_PROBE
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can run (probed once per process)."""
+    return _probe_numpy()[0]
+
+
+def numpy_unavailable_reason() -> str:
+    """Why numpy is unavailable, or ``""`` when it is available."""
+    return _probe_numpy()[1]
+
+
+def _reset_probe_for_tests(
+    probe: Optional[Tuple[bool, str]] = None, warned: bool = False
+) -> None:
+    """Test hook: override (or clear) the availability probe state."""
+    global _NUMPY_PROBE, _WARNED_UNAVAILABLE
+    _NUMPY_PROBE = probe
+    _WARNED_UNAVAILABLE = warned
+
+
+def _warn_unavailable_once(reason: str) -> None:
+    """One recorded warning per process for an unsatisfiable numpy request.
+
+    The warning always fires (so an ignored ``REPRO_BACKEND=numpy`` is
+    visible without telemetry); when a
+    :class:`~repro.telemetry.core.MetricsScope` is active the event is
+    additionally recorded for the run record, next to the engine's
+    serial-fallback reasons.
+    """
+    global _WARNED_UNAVAILABLE
+    if _WARNED_UNAVAILABLE:
+        return
+    _WARNED_UNAVAILABLE = True
+    message = f"REPRO_BACKEND=numpy requested but {reason}; using the python backend"
+    warnings.warn(message, KernelFallbackWarning, stacklevel=3)
+    from ..telemetry.core import current as _telemetry_scope
+
+    scope = _telemetry_scope()
+    if scope is not None:
+        scope.record_fallback("kernels", message)
+
+
+# -- request validation -------------------------------------------------------
+
+
+def validate_backend(value: str) -> str:
+    """Validate a user-supplied backend name (CLI boundary: reject loudly)."""
+    if value not in BACKENDS:
+        raise ConfigurationError(
+            f"backend must be one of {', '.join(BACKENDS)}; got {value!r}"
+        )
+    return value
+
+
+def default_backend() -> str:
+    """The requested backend from ``REPRO_BACKEND`` (default ``auto``)."""
+    raw = os.environ.get(ENV_BACKEND, "")
+    if not raw:
+        return AUTO
+    if raw not in BACKENDS:
+        raise ConfigurationError(
+            f"{ENV_BACKEND} must be one of {', '.join(BACKENDS)}; got {raw!r}"
+        )
+    return raw
+
+
+# -- spec qualification -------------------------------------------------------
+
+
+def disqualification(system) -> Optional[str]:
+    """Why a spec point cannot run vectorized, or None when it can.
+
+    The vectorized kernel expresses exactly what a bare
+    :class:`~repro.hierarchy.level.CacheLevel` does: a direct-mapped tag
+    array (any geometry, either side, any warm-up) with optional 3C
+    classification.  Helper structures keep per-reference state the
+    array passes cannot reproduce, so any ``structure`` disqualifies.
+    """
+    from ..specs import SystemSpec
+
+    if not isinstance(system, SystemSpec):
+        return f"not a SystemSpec: {type(system).__name__}"
+    if system.structure is not None:
+        return f"stateful structure {system.structure.kind!r} needs the interpreter"
+    return None
+
+
+def qualifies(system) -> bool:
+    """Whether :func:`select_backend` could ever pick numpy for *system*."""
+    return disqualification(system) is None
+
+
+def select_backend(system, requested: Optional[str] = None) -> str:
+    """The backend one spec point will execute on: ``"numpy"`` | ``"python"``.
+
+    *requested* overrides the environment (it must already be a valid
+    backend name; CLI input goes through :func:`validate_backend`
+    first).  Non-qualifying specs always fall back to python — never an
+    error — and an explicit numpy request on a machine without numpy
+    records a one-time :class:`KernelFallbackWarning`.
+    """
+    request = default_backend() if requested is None else requested
+    if request == PYTHON:
+        return PYTHON
+    if disqualification(system) is not None:
+        return PYTHON
+    available, reason = _probe_numpy()
+    if not available:
+        if request == NUMPY:
+            _warn_unavailable_once(reason)
+        return PYTHON
+    return NUMPY

@@ -1,0 +1,458 @@
+"""Vectorized whole-trace simulation kernels (numpy backend).
+
+The reference simulator is exact but interpreted: one Python-level
+dispatch per memory reference.  For the *bare* direct-mapped structures
+— a single cache level, or the split-L1/L2 baseline system — the entire
+replay is a pure function of the reference stream, so it can be computed
+in a handful of whole-trace array passes instead:
+
+* **Direct-mapped hit resolution** (:func:`direct_mapped_hit_mask`) —
+  group references by cache slot with one stable argsort of the slot
+  index; within a slot's subsequence a reference hits iff the previous
+  occupant of its slot is the same line, which after sorting is a single
+  adjacent-element compare.
+* **3C miss classification** (:func:`classify_misses`) — the classifier's
+  fully-associative LRU shadow hits iff a reference's *reuse distance*
+  (distinct lines referenced since its previous occurrence) is below the
+  shadow capacity.  Previous occurrences come from a stable argsort by
+  line (:func:`prev_occurrence`); reuse distances reduce to a
+  rank-counting problem solved level-by-level over a merge tree with
+  ``np.searchsorted`` (:func:`_rank_left_leq`) in O(n log n).
+
+Equivalence with the interpreter — every counter of
+:class:`~repro.hierarchy.level.LevelStats`, every classification bucket,
+warm-up semantics included — is pinned by ``tests/test_kernels.py``.
+Callers normally go through :func:`repro.kernels.select_backend` rather
+than importing this module (which requires numpy) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..common.config import CacheConfig, SystemConfig, baseline_system
+from ..common.stats import percent
+from ..common.types import AccessKind
+from ..hierarchy.level import LevelStats
+from ..hierarchy.system import L2Stats, SystemResult
+from ..telemetry.core import current as _telemetry_scope
+
+__all__ = [
+    "stream_array",
+    "direct_mapped_hit_mask",
+    "prev_occurrence",
+    "lru_shadow_hit_mask",
+    "classify_misses",
+    "KernelLevelResult",
+    "simulate_level",
+    "simulate_level_summary",
+    "KernelSystemRun",
+    "simulate_system",
+]
+
+_INT64 = np.int64
+
+
+# -- array views --------------------------------------------------------------
+
+
+def stream_array(trace, side: str) -> np.ndarray:
+    """One side's byte addresses as an int64 array.
+
+    Packed traces expose cached zero-copy views
+    (:meth:`~repro.traces.packed.PackedTrace.stream_array`); anything
+    else pays one conversion from its list stream.
+    """
+    getter = getattr(trace, "stream_array", None)
+    if getter is not None:
+        return getter(side)
+    return np.asarray(trace.stream(side), dtype=_INT64)
+
+
+def _trace_arrays(trace) -> Tuple[np.ndarray, np.ndarray]:
+    """A materialized trace's (kinds, addresses) as arrays."""
+    getter = getattr(trace, "as_arrays", None)
+    if getter is not None:
+        return getter()
+    n = len(trace)
+    kinds = np.fromiter((kind for kind, _ in trace), dtype=np.int8, count=n)
+    addresses = np.fromiter((addr for _, addr in trace), dtype=_INT64, count=n)
+    return kinds, addresses
+
+
+def _index_dtype(num_lines: int):
+    """Smallest dtype holding a slot index — radix-sorting 2-byte keys is
+    ~2.4x faster than argsorting the int64 lines they came from."""
+    if num_lines <= 1 << 16:
+        return np.uint16
+    if num_lines <= 1 << 32:
+        return np.uint32
+    return _INT64
+
+
+# -- direct-mapped resolution -------------------------------------------------
+
+
+def direct_mapped_hit_mask(
+    lines: np.ndarray, num_lines: int, warm: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Hit/miss of every reference against one direct-mapped tag array.
+
+    A direct-mapped slot holds exactly the last line that mapped to it,
+    so a reference hits iff the nearest earlier reference to the same
+    slot used the same line.  One stable argsort of the slot indices
+    makes each slot's references adjacent (still in trace order), turning
+    that into an adjacent-element compare, scattered back to trace order.
+
+    *warm* optionally gives one initially-resident line per valid slot;
+    the warm lines are prepended as pseudo-references and dropped from
+    the returned mask, so a warm-started cache is the same pass over a
+    slightly longer input.
+    """
+    if warm is not None and len(warm):
+        full = np.concatenate((warm.astype(_INT64, copy=False), lines))
+        prefix = len(warm)
+    else:
+        full = lines
+        prefix = 0
+    index = (full & (num_lines - 1)).astype(_index_dtype(num_lines), copy=False)
+    order = np.argsort(index, kind="stable")
+    sorted_index = index[order]
+    sorted_lines = full[order]
+    hit_sorted = np.empty(len(full), dtype=bool)
+    if len(full):
+        hit_sorted[0] = False
+        hit_sorted[1:] = (sorted_index[1:] == sorted_index[:-1]) & (
+            sorted_lines[1:] == sorted_lines[:-1]
+        )
+    hits = np.empty(len(full), dtype=bool)
+    hits[order] = hit_sorted
+    return hits[prefix:] if prefix else hits
+
+
+def _final_residents(lines: np.ndarray, num_lines: int) -> np.ndarray:
+    """Resident line per slot after filling *lines* in order (last one wins)."""
+    if not len(lines):
+        return lines[:0]
+    index = (lines & (num_lines - 1)).astype(_index_dtype(num_lines), copy=False)
+    order = np.argsort(index, kind="stable")
+    sorted_index = index[order]
+    is_last = np.empty(len(order), dtype=bool)
+    is_last[-1] = True
+    is_last[:-1] = sorted_index[1:] != sorted_index[:-1]
+    return lines[order[is_last]]
+
+
+# -- LRU shadow / 3C classification -------------------------------------------
+
+
+def prev_occurrence(lines: np.ndarray) -> np.ndarray:
+    """Position of each reference's previous reference to the same line.
+
+    ``-1`` marks a line's first occurrence.  Same trick as the hit mask,
+    grouping by line value instead of slot index.
+    """
+    n = len(lines)
+    prev = np.full(n, -1, dtype=_INT64)
+    if n:
+        order = np.argsort(lines, kind="stable")
+        same = lines[order][1:] == lines[order][:-1]
+        prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _rank_left_leq(
+    values: np.ndarray, queries: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """``rank[i] = #{j < i : values[j] <= values[i]}`` for non-negative ints.
+
+    Every pair ``j < i`` falls in exactly one level of a merge tree where
+    ``j`` sits in the left half and ``i`` in the right half of the same
+    block, so summing per-level counts gives the full rank.  At each
+    level the blocks are already sorted (maintained by block-wise
+    ``np.sort``), and one global ``searchsorted`` answers every query at
+    once: adding ``half_id * offset`` to both sides keeps the whole
+    block-sorted array globally ordered while confining each query to
+    its own pair's left half (earlier pairs contribute a fixed,
+    subtracted count).  O(n log n) total, no sequential state.
+
+    *queries* restricts which positions are counted (all when None);
+    the returned array holds garbage zeros at non-queried positions.
+    """
+    n = len(values)
+    rank = np.zeros(n, dtype=_INT64)
+    if n < 2:
+        return rank
+    if queries is None:
+        queries = np.arange(n, dtype=_INT64)
+    elif not len(queries):
+        return rank
+    size = 1 << (n - 1).bit_length()
+    sentinel = int(values.max()) + 1  # above every real value: never counted
+    offset = sentinel + 1
+    padded = np.full(size, sentinel, dtype=_INT64)
+    padded[:n] = values
+    block_sorted = padded.copy()
+    positions = np.arange(size, dtype=_INT64)
+    shift = 0  # width == 1 << shift
+    while (1 << shift) < size:
+        width = 1 << shift
+        # Queries with the `width` position bit set sit in a right half.
+        at_level = queries[(queries & width) != 0]
+        if len(at_level):
+            pair_of = at_level >> (shift + 1)
+            # half_id = position // width: left half of pair k gets
+            # 2k*offset, right half (2k+1)*offset — globally sorted, and
+            # a query offset by 2k*offset sees earlier pairs in full
+            # (2*width*k elements) plus its own left half partially.
+            augmented = block_sorted + ((positions >> shift) * offset)
+            rank[at_level] += (
+                np.searchsorted(
+                    augmented, padded[at_level] + (pair_of << 1) * offset, side="right"
+                )
+                - pair_of * (2 * width)
+            )
+        shift += 1
+        if (1 << shift) < size:
+            block_sorted = np.sort(
+                block_sorted.reshape(-1, 1 << shift), axis=1
+            ).ravel()
+    return rank
+
+
+def _shadow_hits(
+    lines: np.ndarray,
+    prev: np.ndarray,
+    capacity: int,
+    queries: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Hit mask of the fully-associative LRU shadow of size *capacity*.
+
+    LRU keeps lines in recency order, so a reference hits iff fewer than
+    *capacity* distinct lines were referenced since its previous
+    occurrence ``p``.  That count is ``rank - (p + 1)``: each distinct
+    line in the window ``(p, i)`` contributes exactly one position ``j``
+    there with ``prev[j] <= p`` (its first occurrence inside the
+    window), and every ``j <= p`` satisfies ``prev[j] <= p`` trivially.
+
+    With *queries*, the mask is only valid at the queried positions —
+    classification uses this to pay the rank pass for the misses it
+    actually has to label, not every reference.
+    """
+    seen = prev >= 0
+    if len(lines) - int(np.count_nonzero(seen)) <= capacity:
+        # Footprint fits: the shadow never evicts, every revisit hits.
+        return seen
+    distinct_since = _rank_left_leq(prev + 1, queries) - (prev + 1)
+    return seen & (distinct_since < capacity)
+
+
+def lru_shadow_hit_mask(lines: np.ndarray, capacity: int) -> np.ndarray:
+    """Hit mask of a fully-associative LRU cache over the whole stream."""
+    return _shadow_hits(lines, prev_occurrence(lines), capacity)
+
+
+def _effective_warmup(warmup: int, n: int) -> int:
+    """The measurement window start, replicating ``run_level`` exactly.
+
+    The interpreter zeroes counters *when* the warm-up boundary is
+    crossed — a warm-up longer than the stream never fires, so the full
+    stream is measured; a warm-up equal to the stream zeroes everything.
+    """
+    return warmup if 0 < warmup <= n else 0
+
+
+def classify_misses(
+    lines: np.ndarray, hits: np.ndarray, capacity: int, warmup: int = 0
+) -> Dict[str, float]:
+    """3C classification counts, in the exact shape of
+    :meth:`~repro.classify.miss_classifier.MissClassifier.summary`.
+
+    Flags (first reference, shadow hit) are computed over the *full*
+    stream while counting starts at the warm-up boundary — matching the
+    classifier, whose ``reset_counts`` keeps shadow and first-reference
+    state so warm-touched lines are not reclassified as compulsory.
+    """
+    n = len(lines)
+    prev = prev_occurrence(lines)
+    start = _effective_warmup(warmup, n)
+    # Shadow verdicts only matter where a counted miss needs the
+    # conflict/capacity split: non-first misses inside the window.
+    candidates = np.nonzero((~hits) & (prev >= 0))[0]
+    queries = candidates[candidates >= start].astype(_INT64, copy=False)
+    shadow_full = _shadow_hits(lines, prev, capacity, queries)
+    window = slice(start, None)
+    miss = ~hits[window]
+    first = prev[window] < 0
+    shadow = shadow_full[window]
+    misses = int(np.count_nonzero(miss))
+    compulsory = int(np.count_nonzero(miss & first))
+    conflict = int(np.count_nonzero(miss & ~first & shadow))
+    return {
+        "accesses": len(miss),
+        "misses": misses,
+        "compulsory": compulsory,
+        "capacity": misses - compulsory - conflict,
+        "conflict": conflict,
+        "coherence": 0,
+        "percent_conflict": percent(conflict, misses),
+    }
+
+
+# -- whole-run kernels --------------------------------------------------------
+
+
+@dataclass
+class KernelLevelResult:
+    """Statistics of one vectorized single-level replay."""
+
+    stats: LevelStats
+    #: :meth:`MissClassifier.summary`-shaped dict; None unless classified.
+    classification: Optional[Dict[str, float]] = None
+
+    @property
+    def misses(self) -> int:
+        return self.stats.demand_misses
+
+    @property
+    def conflicts(self) -> int:
+        if self.classification is None:
+            raise ValueError("simulate_level(..., classify=True) required for conflicts")
+        return int(self.classification["conflict"])
+
+
+def simulate_level(
+    byte_addresses,
+    config: CacheConfig,
+    classify: bool = False,
+    warmup: int = 0,
+) -> KernelLevelResult:
+    """Vectorized :func:`~repro.experiments.runner.run_level` for the bare level.
+
+    Only the augmentation-free configuration is expressible — helper
+    structures are stateful per-reference machines; dispatch through
+    :func:`repro.kernels.select_backend` keeps them on the interpreter.
+    """
+    addresses = np.asarray(byte_addresses, dtype=_INT64)
+    lines = addresses >> config.offset_bits
+    hits = direct_mapped_hit_mask(lines, config.num_lines)
+    start = _effective_warmup(warmup, len(lines))
+    stats = LevelStats()
+    stats.accesses = len(lines) - start
+    stats.hits = int(np.count_nonzero(hits[start:]))
+    # Bare level: every demand miss goes to the next level, none removed.
+    stats.misses_to_next_level = stats.accesses - stats.hits
+    classification = (
+        classify_misses(lines, hits, config.num_lines, warmup) if classify else None
+    )
+    return KernelLevelResult(stats, classification)
+
+
+def simulate_level_summary(system):
+    """Execute one qualifying :class:`LevelJob` spec point vectorized.
+
+    Mirrors the interpreter path end to end: same
+    :class:`~repro.experiments.engine.LevelSummary` counters and the same
+    telemetry observation (one ``observe_level_run`` per replay).
+    """
+    from ..experiments.engine import LevelSummary
+
+    scope = _telemetry_scope()
+    started = perf_counter() if scope is not None else 0.0
+    addresses = stream_array(system.trace.trace(), system.side)
+    run = simulate_level(
+        addresses, system.cache_config, classify=system.classify, warmup=system.warmup
+    )
+    if scope is not None:
+        scope.observe_level_run(run.stats, perf_counter() - started)
+    return LevelSummary(
+        accesses=run.stats.accesses,
+        demand_misses=run.stats.demand_misses,
+        removed_misses=run.stats.removed_misses,
+        misses_to_next_level=run.stats.misses_to_next_level,
+        stream_stall_cycles=run.stats.stream_stall_cycles,
+        conflict_misses=run.conflicts if system.classify else None,
+    )
+
+
+@dataclass
+class KernelSystemRun:
+    """One vectorized full-system replay of the bare two-level hierarchy."""
+
+    result: SystemResult
+    iclassification: Optional[Dict[str, float]] = None
+    dclassification: Optional[Dict[str, float]] = None
+
+
+def simulate_system(
+    trace,
+    config: Optional[SystemConfig] = None,
+    classify: bool = False,
+    prewarm_l2: bool = False,
+) -> KernelSystemRun:
+    """Vectorized :meth:`MemorySystem.run` for the augmentation-free system.
+
+    Splits the trace into instruction/data streams with one mask, runs
+    the direct-mapped pass per L1 side, scatters the two miss masks back
+    into trace order to form the L2 demand stream, and runs the same pass
+    at L2 geometry.  ``prewarm_l2`` starts the L2 with the trace's
+    footprint resident (the interpreter's
+    :meth:`~repro.hierarchy.system.MemorySystem.prewarm_l2` steady-state
+    model), expressed as warm pseudo-references.  *trace* must be
+    materialized (sized, repeatable).
+    """
+    config = config if config is not None else baseline_system()
+    scope = _telemetry_scope()
+    started = perf_counter() if scope is not None else 0.0
+    kinds, addresses = _trace_arrays(trace)
+    is_ifetch = kinds == int(AccessKind.IFETCH)
+
+    ilines = addresses[is_ifetch] >> config.icache.offset_bits
+    dlines = addresses[~is_ifetch] >> config.dcache.offset_bits
+    ihits = direct_mapped_hit_mask(ilines, config.icache.num_lines)
+    dhits = direct_mapped_hit_mask(dlines, config.dcache.num_lines)
+
+    # L2 sees every L1 demand miss, in trace order: scatter the per-side
+    # miss masks back to trace positions and select.
+    missed = np.empty(len(addresses), dtype=bool)
+    missed[is_ifetch] = ~ihits
+    missed[~is_ifetch] = ~dhits
+    l2_all = addresses >> config.l2.offset_bits
+    warm = (
+        _final_residents(l2_all, config.l2.num_lines) if prewarm_l2 else None
+    )
+    l2_demand = l2_all[missed]
+    l2_hits = direct_mapped_hit_mask(l2_demand, config.l2.num_lines, warm=warm)
+
+    istats = LevelStats()
+    istats.accesses = len(ilines)
+    istats.hits = int(np.count_nonzero(ihits))
+    istats.misses_to_next_level = istats.accesses - istats.hits
+    dstats = LevelStats()
+    dstats.accesses = len(dlines)
+    dstats.hits = int(np.count_nonzero(dhits))
+    dstats.misses_to_next_level = dstats.accesses - dstats.hits
+    l2stats = L2Stats()
+    l2stats.demand_accesses = len(l2_demand)
+    l2stats.demand_misses = len(l2_demand) - int(np.count_nonzero(l2_hits))
+
+    result = SystemResult(
+        instructions=len(ilines),
+        data_references=len(dlines),
+        istats=istats,
+        dstats=dstats,
+        l2stats=l2stats,
+    )
+    if scope is not None:
+        scope.observe_system_run(result, perf_counter() - started)
+    if not classify:
+        return KernelSystemRun(result)
+    return KernelSystemRun(
+        result,
+        iclassification=classify_misses(ilines, ihits, config.icache.num_lines),
+        dclassification=classify_misses(dlines, dhits, config.dcache.num_lines),
+    )

@@ -151,9 +151,15 @@ class JobProgress:
     rebuilds so far) stay zero on a healthy batch; ``note`` carries a
     degradation reason — e.g. why packed shared-memory trace delivery
     was unavailable — when the batch is running in a reduced mode.
+    ``backend`` names the simulation kernel backend(s) executing the
+    batch ("numpy", "python", or a mixed "numpy:3 python:5" split);
+    empty when the batch runs no backend-dispatched simulations.
     """
 
-    __slots__ = ("done", "total", "elapsed", "store_hits", "retries", "recoveries", "note")
+    __slots__ = (
+        "done", "total", "elapsed", "store_hits", "retries", "recoveries", "note",
+        "backend",
+    )
 
     def __init__(
         self,
@@ -164,6 +170,7 @@ class JobProgress:
         retries: int = 0,
         recoveries: int = 0,
         note: str = "",
+        backend: str = "",
     ) -> None:
         self.done = done
         self.total = total
@@ -172,11 +179,14 @@ class JobProgress:
         self.retries = retries
         self.recoveries = recoveries
         self.note = note
+        self.backend = backend
 
     def __str__(self) -> str:
         base = f"{self.done}/{self.total} jobs done after {self.elapsed:.1f}s"
         if self.store_hits:
             base += f" ({self.store_hits} from store)"
+        if self.backend:
+            base += f" [{self.backend}]"
         if self.retries:
             base += f" [{self.retries} retried]"
         if self.recoveries:
@@ -220,6 +230,8 @@ class MetricsScope:
         self.job_timeouts = 0
         self.pool_rebuilds = 0
         self.poisoned_jobs = 0
+        # Simulation-kernel backend selection (backend name -> job count).
+        self.backend_jobs: Dict[str, int] = {}
 
     # -- counters/timers ------------------------------------------------------
 
@@ -257,6 +269,11 @@ class MetricsScope:
         self.job_timeouts += timeouts
         self.pool_rebuilds += pool_rebuilds
         self.poisoned_jobs += poisoned
+
+    def record_backends(self, counts: Dict[str, int]) -> None:
+        """Accumulate one batch's kernel-backend selection counts."""
+        for backend, count in counts.items():
+            self.backend_jobs[backend] = self.backend_jobs.get(backend, 0) + count
 
     # -- simulation observations ----------------------------------------------
 

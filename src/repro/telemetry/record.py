@@ -92,6 +92,10 @@ _OPTIONAL_SCHEMA: Dict[str, tuple] = {
     # Fault-recovery activity: {"retries": int, "timeouts": int,
     # "pool_rebuilds": int, "poisoned_jobs": int}; empty on healthy runs.
     "resilience": (dict,),
+    # Simulation-kernel backend selection: backend name -> job count
+    # (e.g. {"numpy": 12, "python": 3}); empty when the run dispatched
+    # no backend-selected simulations.
+    "backends": (dict,),
 }
 
 _MODES = ("serial", "parallel")
@@ -150,6 +154,8 @@ class RunRecord:
     store: Dict[str, int] = field(default_factory=dict)
     #: Fault-recovery activity (empty when the run needed none).
     resilience: Dict[str, int] = field(default_factory=dict)
+    #: Kernel-backend selection counts (empty when nothing dispatched).
+    backends: Dict[str, int] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
@@ -229,6 +235,7 @@ def build_run_record(
             )
             else {}
         ),
+        backends=dict(scope.backend_jobs),
     )
 
 
@@ -261,7 +268,7 @@ def validate_record(payload: Mapping) -> None:
             expected = "/".join(t.__name__ for t in types)
             raise ValueError(f"run record field {key!r} must be {expected}, got {payload[key]!r}")
     groups = ("l1i", "l1d", "l2", "level") + tuple(
-        key for key in ("store", "resilience") if key in payload
+        key for key in ("store", "resilience", "backends") if key in payload
     )
     for group in groups:
         for name, count in payload[group].items():

@@ -13,9 +13,14 @@ other side, element by element.
 serializes and deserializes as two contiguous memory blocks.  Pair
 iteration is zero-copy (``zip`` over the buffers; no list of tuples is
 ever materialized unless a legacy caller asks for ``.pairs``), split
-streams are extracted with C-level ``bytes.translate`` +
-``itertools.compress`` selection, and kind counts come from
-``array.count``.
+streams are extracted with one vectorized numpy mask over zero-copy
+buffer views (C-level ``bytes.translate`` + ``itertools.compress``
+selection when numpy is unavailable), and kind counts come from
+``array.count``.  The same views back the vectorized simulation
+kernels: :meth:`PackedTrace.as_arrays` exposes the raw buffers as
+read-only numpy arrays without copying, and
+:meth:`PackedTrace.stream_array` caches the per-side address arrays
+every kernel replay starts from.
 
 For process pools, :func:`share_packed_traces` lays the buffers out in
 :mod:`multiprocessing.shared_memory` segments and
@@ -35,6 +40,15 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.types import AccessKind
 from .trace import MaterializedTrace, Pair, TraceMeta, TraceStats
+
+
+def _numpy():
+    """numpy, or None — the packed representation works without it."""
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - depends on environment
+        return None
+    return numpy
 
 __all__ = [
     "PackedTrace",
@@ -73,6 +87,8 @@ class PackedTrace(MaterializedTrace):
         self._data_addresses: Optional[List[int]] = None
         self._stats: Optional[TraceStats] = None
         self._fingerprint: Optional[str] = None
+        self._array_views = None
+        self._stream_arrays: dict = {}
 
     @classmethod
     def from_pairs(cls, meta: TraceMeta, pairs: Iterable[Pair]) -> "PackedTrace":
@@ -102,7 +118,50 @@ class PackedTrace(MaterializedTrace):
 
     # -- derived views -------------------------------------------------------
 
+    def as_arrays(self):
+        """Read-only zero-copy numpy views of the packed buffers.
+
+        Returns ``(kinds, addresses)`` — int8 and int64 arrays aliasing
+        the trace's own memory, no copy.  Requires numpy (the ``fast``
+        extra); the views are marked non-writeable so kernel code cannot
+        mutate the trace through them.
+        """
+        import numpy as np
+
+        if self._array_views is None:
+            kinds = np.frombuffer(self._kinds, dtype=np.int8)
+            addresses = np.frombuffer(self._addresses, dtype=np.int64)
+            kinds.flags.writeable = False
+            addresses.flags.writeable = False
+            self._array_views = (kinds, addresses)
+        return self._array_views
+
+    def stream_array(self, side: str):
+        """The 'i' or 'd' byte-address stream as a cached int64 array.
+
+        One vectorized mask over the zero-copy views; the per-side array
+        is cached (read-only) because experiments replay the same stream
+        against many cache configurations.  Requires numpy.
+        """
+        cached = self._stream_arrays.get(side)
+        if cached is None:
+            if side not in ("i", "d"):
+                raise ValueError(f"side must be 'i' or 'd', got {side!r}")
+            kinds, addresses = self.as_arrays()
+            ifetch = int(AccessKind.IFETCH)
+            mask = (kinds == ifetch) if side == "i" else (kinds != ifetch)
+            cached = addresses[mask]
+            cached.flags.writeable = False
+            self._stream_arrays[side] = cached
+        return cached
+
     def _select(self, table: bytes) -> List[int]:
+        if _numpy() is not None:
+            # Vectorized mask; shares the cached per-side arrays with
+            # the simulation kernels instead of building a second copy.
+            return self.stream_array(
+                "i" if table is _SELECT_IFETCH else "d"
+            ).tolist()
         selectors = self._kinds.tobytes().translate(table)
         return list(compress(self._addresses, selectors))
 

@@ -35,7 +35,11 @@ class TestBenchmarkHarnessComplete:
         assert not missing, f"experiments without benchmarks: {missing}"
 
     def test_every_artifact_benchmark_has_an_experiment(self):
-        known = set(ALL_EXPERIMENTS) | {"core_throughput", "telemetry_overhead"}
+        known = set(ALL_EXPERIMENTS) | {
+            "core_throughput",
+            "telemetry_overhead",
+            "kernel_throughput",
+        }
         stray = [
             path.stem.removeprefix("test_")
             for path in (ROOT / "benchmarks").glob("test_*.py")

@@ -1,0 +1,321 @@
+"""Backend equivalence and dispatch: the vectorized kernels vs the interpreter.
+
+The numpy backend is only allowed to exist because it is *exactly* the
+reference simulator, faster: every test here pins identical statistics —
+every LevelStats counter, every 3C classification bucket, warm-up
+semantics included — between :mod:`repro.kernels.numpy_backend` and the
+interpreter, on randomized synthetic streams and on all seven named
+workloads.  Dispatch tests pin the selection rules: stateful structures
+always fall back to the interpreter (never an error), ``REPRO_BACKEND``
+is validated at the CLI boundary, and a numpy request on a machine
+without numpy degrades with a one-time recorded warning.
+"""
+
+from __future__ import annotations
+
+import random
+import warnings
+
+import pytest
+
+from repro.common.config import CacheConfig, baseline_system
+from repro.common.errors import ConfigurationError
+from repro.experiments.runner import run_level, run_system
+from repro.kernels import (
+    AUTO,
+    ENV_BACKEND,
+    NUMPY,
+    PYTHON,
+    KernelFallbackWarning,
+    _reset_probe_for_tests,
+    default_backend,
+    disqualification,
+    numpy_available,
+    qualifies,
+    select_backend,
+    validate_backend,
+)
+from repro.specs import SystemSpec, TraceSpec, VictimCacheSpec
+from repro.telemetry import core as telemetry
+from repro.traces.registry import BENCHMARK_NAMES, EXTENSION_NAMES, build_trace
+
+np = None
+if numpy_available():
+    import numpy as np
+
+needs_numpy = pytest.mark.skipif(np is None, reason="numpy not installed")
+
+#: All seven named workloads: the paper's six plus the extensions.
+ALL_NAMES = BENCHMARK_NAMES + EXTENSION_NAMES
+
+
+def qualifying_spec(**overrides) -> SystemSpec:
+    defaults = dict(
+        trace=TraceSpec("linpack", 3000, 0), config=baseline_system(), side="d"
+    )
+    defaults.update(overrides)
+    return SystemSpec(**defaults)
+
+
+# -- equivalence: single level ------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", ALL_NAMES)
+@pytest.mark.parametrize("side", ["i", "d"])
+def test_named_trace_level_equivalence(name, side):
+    """Identical stats and 3C totals on every named workload, both sides."""
+    from repro.kernels.numpy_backend import simulate_level, stream_array
+
+    trace = build_trace(name, 3000).materialize()
+    config = CacheConfig(4096, 16)
+    addresses = trace.stream(side)
+    reference = run_level(addresses, config, classify=True, warmup=500)
+    kernel = simulate_level(
+        stream_array(trace, side), config, classify=True, warmup=500
+    )
+    assert kernel.stats.as_dict() == reference.stats.as_dict()
+    assert kernel.classification == reference.classifier.summary()
+    assert kernel.conflicts == reference.conflicts
+
+
+@needs_numpy
+def test_randomized_level_equivalence():
+    """Property-style: random streams, geometries, and warm-up boundaries."""
+    from repro.kernels.numpy_backend import simulate_level
+
+    rng = random.Random(1234)
+    for case in range(25):
+        n = rng.randrange(0, 700)
+        span = rng.choice([40, 300, 5000])
+        addresses = [rng.randrange(span) * 4 for _ in range(n)]
+        config = CacheConfig(
+            rng.choice([256, 1024, 4096]), rng.choice([16, 32])
+        )
+        warmup = rng.choice([0, 1, max(1, n // 2), n, n + 7])
+        reference = run_level(addresses, config, classify=True, warmup=warmup)
+        kernel = simulate_level(addresses, config, classify=True, warmup=warmup)
+        assert kernel.stats.as_dict() == reference.stats.as_dict(), (case, warmup)
+        assert kernel.classification == reference.classifier.summary(), (case, warmup)
+
+
+@needs_numpy
+def test_rank_left_leq_matches_brute_force():
+    from repro.kernels.numpy_backend import _rank_left_leq
+
+    rng = random.Random(7)
+    for _ in range(20):
+        n = rng.randrange(1, 120)
+        values = np.array([rng.randrange(20) for _ in range(n)], dtype=np.int64)
+        expected = np.array(
+            [int(sum(values[j] <= values[i] for j in range(i))) for i in range(n)]
+        )
+        assert (_rank_left_leq(values) == expected).all()
+
+
+@needs_numpy
+def test_lru_shadow_matches_live_cache():
+    from repro.caches.fully_associative import FullyAssociativeCache
+    from repro.kernels.numpy_backend import lru_shadow_hit_mask
+
+    rng = random.Random(99)
+    for capacity in (1, 4, 16):
+        lines = np.array([rng.randrange(40) for _ in range(400)], dtype=np.int64)
+        live = FullyAssociativeCache(capacity)
+        expected = [bool(live.access_and_fill(int(line))) for line in lines]
+        assert lru_shadow_hit_mask(lines, capacity).tolist() == expected
+
+
+# -- equivalence: full system -------------------------------------------------
+
+
+@needs_numpy
+@pytest.mark.parametrize("prewarm", [False, True])
+def test_system_equivalence(small_suite, prewarm):
+    from repro.kernels.numpy_backend import simulate_system
+
+    trace = small_suite[0]  # ccom: mixed instruction/data stream
+    reference = run_system(trace, classify=True, prewarm_l2=prewarm)
+    kernel = simulate_system(trace, classify=True, prewarm_l2=prewarm)
+    result = kernel.result
+    assert result.istats.as_dict() == reference.istats.as_dict()
+    assert result.dstats.as_dict() == reference.dstats.as_dict()
+    assert result.l2stats.as_dict() == reference.l2stats.as_dict()
+    assert result.total_references == reference.total_references
+
+
+# -- equivalence: through the engine ------------------------------------------
+
+
+@needs_numpy
+def test_run_jobs_identical_across_backends(monkeypatch):
+    """The same batch returns identical summaries on both backends."""
+    from repro.experiments.engine import LevelJob, run_jobs
+
+    jobs = [
+        LevelJob(qualifying_spec(side="i", classify=True, warmup=200)),
+        LevelJob(qualifying_spec(side="d")),
+    ]
+    monkeypatch.setenv(ENV_BACKEND, "python")
+    python_results = run_jobs(jobs)
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    numpy_results = run_jobs(jobs)
+    assert numpy_results == python_results
+
+
+# -- packed-trace views -------------------------------------------------------
+
+
+@needs_numpy
+def test_as_arrays_zero_copy_and_readonly(small_suite):
+    trace = small_suite[0]
+    kinds, addresses = trace.as_arrays()
+    assert len(kinds) == len(addresses) == len(trace)
+    # Zero-copy: the views alias the packed buffers...
+    assert addresses.base is not None
+    # ...and are frozen so kernels cannot mutate the trace through them.
+    assert not kinds.flags.writeable and not addresses.flags.writeable
+    with pytest.raises(ValueError):
+        addresses[0] = 1
+    assert trace.as_arrays() is trace.as_arrays()
+
+
+@needs_numpy
+def test_stream_array_matches_list_streams(small_suite):
+    trace = small_suite[0]
+    for side in ("i", "d"):
+        assert trace.stream_array(side).tolist() == trace.stream(side)
+        assert not trace.stream_array(side).flags.writeable
+        assert trace.stream_array(side) is trace.stream_array(side)
+    with pytest.raises(ValueError):
+        trace.stream_array("x")
+
+
+def test_select_without_numpy_matches_vectorized(small_suite, monkeypatch):
+    """The translate/compress fallback extracts the same streams."""
+    from repro.traces import packed
+
+    trace = small_suite[1]
+    expected_i = trace.stream("i")
+    expected_d = trace.stream("d")
+    fallback = packed.PackedTrace(trace.meta, trace._kinds, trace._addresses)
+    monkeypatch.setattr(packed, "_numpy", lambda: None)
+    assert fallback.stream("i") == expected_i
+    assert fallback.stream("d") == expected_d
+
+
+# -- dispatch -----------------------------------------------------------------
+
+
+def test_stateful_structures_fall_back():
+    spec = qualifying_spec(structure=VictimCacheSpec(entries=4))
+    assert not qualifies(spec)
+    assert "victim" in disqualification(spec)
+    # Never an error — even under an explicit numpy request.
+    assert select_backend(spec, requested=NUMPY) == PYTHON
+
+
+def test_structure_free_spec_qualifies():
+    spec = qualifying_spec(classify=True, warmup=100)
+    assert qualifies(spec)
+    assert disqualification(spec) is None
+    assert select_backend(spec, requested=PYTHON) == PYTHON
+    if numpy_available():
+        assert select_backend(spec) in (NUMPY, PYTHON)
+        assert select_backend(spec, requested=NUMPY) == NUMPY
+
+
+def test_non_spec_is_disqualified():
+    assert not qualifies(object())
+    assert select_backend(object(), requested=NUMPY) == PYTHON
+
+
+def test_validate_backend_rejects_malformed():
+    assert validate_backend(AUTO) == AUTO
+    with pytest.raises(ConfigurationError):
+        validate_backend("fortran")
+
+
+def test_default_backend_env(monkeypatch):
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+    assert default_backend() == AUTO
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    assert default_backend() == NUMPY
+    monkeypatch.setenv(ENV_BACKEND, "bogus")
+    with pytest.raises(ConfigurationError):
+        default_backend()
+
+
+def test_cli_backend_validation(monkeypatch, capsys):
+    from repro.experiments.cli import main
+
+    import os
+
+    monkeypatch.setenv(ENV_BACKEND, "auto")  # registers teardown restore
+    assert main(["--backend", "bogus", "--list"]) == 2
+    assert "backend" in capsys.readouterr().err
+    # A valid value propagates through the environment for workers.
+    assert main(["--backend", "python", "--list"]) == 0
+    assert os.environ.get(ENV_BACKEND) == "python"
+
+
+def test_numpy_unavailable_degrades_with_one_warning(monkeypatch):
+    """Simulated missing numpy: python backend, one recorded warning."""
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+    spec = qualifying_spec()
+    _reset_probe_for_tests((False, "numpy is not importable (simulated)"))
+    try:
+        # auto: silent fallback, no warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert select_backend(spec) == PYTHON
+        # explicit numpy request: warns once, recorded in telemetry.
+        with telemetry.scoped() as scope:
+            with pytest.warns(KernelFallbackWarning, match="simulated"):
+                assert select_backend(spec, requested=NUMPY) == PYTHON
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # second request: already warned
+                assert select_backend(spec, requested=NUMPY) == PYTHON
+        assert any(event.component == "kernels" for event in scope.fallbacks)
+    finally:
+        _reset_probe_for_tests()
+
+
+def test_kernels_package_imports_without_numpy():
+    """The dispatch layer itself must never require numpy."""
+    import repro.kernels as kernels
+
+    # numpy only ever enters through the lazy probe, not at import time.
+    assert "numpy" not in vars(kernels)
+    assert select_backend(qualifying_spec(), requested=PYTHON) == PYTHON
+
+
+# -- telemetry surfacing ------------------------------------------------------
+
+
+def test_job_progress_renders_backend():
+    progress = telemetry.JobProgress(3, 8, 1.5, backend="numpy")
+    assert "[numpy]" in str(progress)
+    assert "[" not in str(telemetry.JobProgress(3, 8, 1.5))
+
+
+def test_backend_counts_reach_run_record(monkeypatch):
+    from repro.experiments.engine import LevelJob, run_jobs
+    from repro.telemetry.record import build_run_record, validate_record
+
+    monkeypatch.delenv(ENV_BACKEND, raising=False)
+    jobs = [
+        LevelJob(qualifying_spec(side="d")),
+        LevelJob(qualifying_spec(side="d", structure=VictimCacheSpec(entries=4))),
+    ]
+    heartbeats = []
+    with telemetry.scoped() as scope:
+        run_jobs(jobs, progress=heartbeats.append)
+        record = build_run_record(scope, "kernels-test", baseline_system(), 0.1)
+    expected = {"numpy": 1, "python": 1} if numpy_available() else {"python": 2}
+    assert scope.backend_jobs == expected
+    assert record.backends == expected
+    validate_record(record.as_dict())
+    assert heartbeats[-1].backend
+    round_tripped = type(record).from_dict(record.as_dict())
+    assert round_tripped.backends == expected

@@ -46,7 +46,8 @@ def no_store(monkeypatch):
 
 @pytest.fixture
 def sim_counter(monkeypatch):
-    """Count CacheLevel constructions: every simulation builds at least one."""
+    """Count simulations: every interpreter replay builds a CacheLevel, and
+    every vectorized replay calls the kernel's simulate_level."""
     counts = {"levels": 0}
     original = CacheLevel.__init__
 
@@ -55,6 +56,18 @@ def sim_counter(monkeypatch):
         return original(self, *args, **kwargs)
 
     monkeypatch.setattr(CacheLevel, "__init__", counting)
+    try:
+        from repro.kernels import numpy_backend
+    except ImportError:
+        pass
+    else:
+        kernel_original = numpy_backend.simulate_level
+
+        def kernel_counting(*args, **kwargs):
+            counts["levels"] += 1
+            return kernel_original(*args, **kwargs)
+
+        monkeypatch.setattr(numpy_backend, "simulate_level", kernel_counting)
     return counts
 
 
