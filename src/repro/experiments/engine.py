@@ -730,16 +730,12 @@ class _JobTimeoutError(Exception):
 def _serial_deadline(seconds: Optional[float]):
     """Enforce a wall-clock ceiling on an inline job via ``SIGALRM``.
 
-    Only armed when a timeout is configured, the platform has
-    ``setitimer``, and we are on the main thread (the only thread that
-    receives signals); otherwise inline execution runs unbounded — pool
-    execution (``jobs > 1``) enforces timeouts everywhere.
+    Only armed when a timeout is configured and the platform has
+    ``setitimer``; callers must be on the main thread (``signal.signal``
+    raises ``ValueError`` anywhere else) — :func:`_execute_with_deadline`
+    routes non-main-thread execution to the watchdog path instead.
     """
-    if (
-        not seconds
-        or not hasattr(signal, "setitimer")
-        or threading.current_thread() is not threading.main_thread()
-    ):
+    if not seconds or not hasattr(signal, "setitimer"):
         yield
         return
 
@@ -753,6 +749,75 @@ def _serial_deadline(seconds: Optional[float]):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+#: One warning per process when inline timeouts degrade to the watchdog.
+_WATCHDOG_WARNED = False
+
+
+def _watchdog_execute(job: Job, index: int, attempt: int, seconds: float):
+    """Thread-watchdog deadline for inline jobs off the main thread.
+
+    ``SIGALRM`` only works on the main thread — ``signal.signal`` raises
+    ``ValueError`` anywhere else — so an inline job running under an
+    executor thread (the serve daemon's request path) cannot use
+    :func:`_serial_deadline`.  Instead the job runs in a daemonic helper
+    thread that is *abandoned* on timeout, mirroring the pool-abandon
+    path for worker processes: the stuck attempt keeps running to
+    oblivion but the caller gets its :class:`_JobTimeoutError` (and
+    retry) on schedule instead of a crash or an unbounded wait.  The
+    degradation is warned once per process and recorded on the active
+    telemetry scope.
+    """
+    global _WATCHDOG_WARNED
+    if not _WATCHDOG_WARNED:
+        _WATCHDOG_WARNED = True
+        warnings.warn(
+            "job timeouts are enforced off the main thread by a watchdog "
+            "thread (SIGALRM is main-thread-only); a timed-out inline job "
+            "is abandoned, not interrupted",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    scope = _telemetry_scope()
+    if scope is not None:
+        scope.record_fallback(
+            "serial_deadline",
+            "SIGALRM unavailable off the main thread; using watchdog-thread timeouts",
+        )
+    box: List = []
+
+    def _target() -> None:
+        try:
+            box.append((True, _guarded_execute(job, index, attempt)))
+        except BaseException as exc:  # delivered to the submitting thread
+            box.append((False, exc))
+
+    worker = threading.Thread(target=_target, daemon=True, name="repro-job-watchdog")
+    worker.start()
+    worker.join(seconds)
+    if not box and worker.is_alive():
+        raise _JobTimeoutError()
+    worker.join()
+    succeeded, value = box[0]
+    if succeeded:
+        return value
+    raise value
+
+
+def _execute_with_deadline(job: Job, index: int, attempt: int, seconds: Optional[float]):
+    """Run one inline job under the configured wall-clock ceiling.
+
+    Main thread: ``SIGALRM`` interrupts the attempt in place.  Any other
+    thread: the watchdog path above.  No ceiling configured: plain
+    execution.
+    """
+    if not seconds:
+        return _guarded_execute(job, index, attempt)
+    if threading.current_thread() is threading.main_thread():
+        with _serial_deadline(seconds):
+            return _guarded_execute(job, index, attempt)
+    return _watchdog_execute(job, index, attempt, seconds)
 
 
 def _is_corrupt(outcome) -> bool:
@@ -778,8 +843,9 @@ def _run_serial(
         while True:
             reason = None
             try:
-                with _serial_deadline(opts.job_timeout):
-                    outcome = _guarded_execute(entry.job, entry.index, entry.attempts)
+                outcome = _execute_with_deadline(
+                    entry.job, entry.index, entry.attempts, opts.job_timeout
+                )
                 if _is_corrupt(outcome):
                     reason = "corrupt result payload"
             except _JobTimeoutError:

@@ -1,0 +1,39 @@
+"""The cache-advisor service layer: ``repro-serve`` and its clients.
+
+Turns the batch reproduction into an online question-answering service:
+an asyncio HTTP/JSON daemon (:mod:`repro.serve.daemon`) keyed by
+``spec_hash`` + trace fingerprint, answering warm keys straight from the
+:mod:`result store <repro.store>` and coalescing duplicate concurrent
+cold keys into single :mod:`engine <repro.experiments.engine>` jobs,
+with admission control and streamed progress heartbeats.  See
+``docs/API.md`` ("Serving") for the endpoint and schema reference.
+"""
+
+from .daemon import CacheAdvisorDaemon, ServeConfig
+from .loadgen import LoadReport, percentiles, run_loadgen
+from .service import (
+    AdviseError,
+    AdviseQuery,
+    AdvisorService,
+    BadRequestError,
+    OverloadedError,
+    ServingCounters,
+    UpstreamError,
+    parse_query,
+)
+
+__all__ = [
+    "CacheAdvisorDaemon",
+    "ServeConfig",
+    "AdvisorService",
+    "AdviseQuery",
+    "AdviseError",
+    "BadRequestError",
+    "OverloadedError",
+    "UpstreamError",
+    "ServingCounters",
+    "parse_query",
+    "LoadReport",
+    "run_loadgen",
+    "percentiles",
+]

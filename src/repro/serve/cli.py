@@ -1,0 +1,170 @@
+"""Command-line entry point for the cache-advisor daemon.
+
+Usage::
+
+    repro-serve --result-store ~/.cache/repro-results
+    repro-serve --port 8123 --max-inflight 8 --heartbeat 0.5
+    repro-serve --port 0                     # ephemeral port, printed on stderr
+    repro-serve --job-timeout 30 --retries 1 # resilience knobs, as in the batch CLI
+
+The daemon requires a result store — it *is* the warm path — so either
+``--result-store DIR`` or ``$REPRO_RESULT_STORE`` must name one;
+``--jobs``, ``--job-timeout``, ``--retries``, and ``--backend`` travel
+through the same environment variables as ``repro-experiments`` so
+engine code behaves identically under the daemon.  Malformed ``--port``
+or ``--max-inflight`` values exit with status 2, like every other CLI
+boundary in this repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+from typing import List, Optional
+
+from ..common.errors import ConfigurationError
+from .daemon import CacheAdvisorDaemon, ServeConfig
+
+__all__ = ["build_parser", "validate_port", "validate_max_inflight", "main"]
+
+
+def validate_port(port: int) -> int:
+    """CLI-boundary port validation: 0 (ephemeral) through 65535."""
+    if port < 0 or port > 65535:
+        raise ConfigurationError(f"--port must be between 0 and 65535, got {port}")
+    return port
+
+
+def validate_max_inflight(value: int) -> int:
+    """CLI-boundary admission-bound validation (reject, don't clamp)."""
+    if value < 1:
+        raise ConfigurationError(f"--max-inflight must be at least 1, got {value}")
+    return value
+
+
+def validate_heartbeat(value: float) -> float:
+    if value <= 0:
+        raise ConfigurationError(f"--heartbeat must be positive, got {value:g}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Async cache-advisor daemon: answers spec+trace queries from the "
+            "result store, coalescing duplicate cold requests into single "
+            "engine simulations."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument(
+        "--port", type=int, default=8123,
+        help="TCP port; 0 picks an ephemeral port (default: 8123)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="max distinct cold simulations in flight before 429 (default: 4)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="engine worker processes per simulation (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=1.0,
+        help="seconds between streamed heartbeats (default: 1.0)",
+    )
+    parser.add_argument(
+        "--result-store", metavar="DIR", default=None,
+        help="result store directory (default: $REPRO_RESULT_STORE; required)",
+    )
+    parser.add_argument(
+        "--job-timeout", metavar="SECONDS", type=float, default=None,
+        help="wall-clock ceiling per engine job (default: REPRO_JOB_TIMEOUT or unbounded)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="re-run attempts per failed engine job (default: REPRO_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--backend", metavar="BACKEND", default=None,
+        help="simulation kernel backend: auto, python, or numpy (default: REPRO_BACKEND or auto)",
+    )
+    parser.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="append one serving run record (JSON Lines) to PATH on shutdown",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from ..kernels import ENV_BACKEND, validate_backend
+    from ..experiments.engine import (
+        ENV_JOB_TIMEOUT,
+        ENV_RETRIES,
+        validate_job_timeout,
+        validate_jobs,
+        validate_retries,
+    )
+
+    try:
+        port = validate_port(args.port)
+        max_inflight = validate_max_inflight(args.max_inflight)
+        heartbeat = validate_heartbeat(args.heartbeat)
+        jobs = validate_jobs(args.jobs)
+        job_timeout = validate_job_timeout(args.job_timeout)
+        retries = validate_retries(args.retries)
+        backend = None if args.backend is None else validate_backend(args.backend)
+    except ConfigurationError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
+    # Knobs travel through the environment so engine worker processes
+    # (and the sim threads' run_jobs calls) resolve the same values.
+    if args.job_timeout is not None:
+        os.environ[ENV_JOB_TIMEOUT] = str(job_timeout)
+    if args.retries is not None:
+        os.environ[ENV_RETRIES] = str(retries)
+    if backend is not None:
+        os.environ[ENV_BACKEND] = backend
+    from ..store import current_store, set_store
+
+    if args.result_store:
+        set_store(args.result_store)
+    if current_store() is None:
+        print(
+            "repro-serve: a result store is required (pass --result-store DIR "
+            "or set $REPRO_RESULT_STORE)",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=port,
+        max_inflight=max_inflight,
+        jobs=jobs,
+        heartbeat=heartbeat,
+        emit_metrics=args.emit_metrics,
+    )
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+async def _serve(config: ServeConfig) -> None:
+    daemon = CacheAdvisorDaemon(config)
+    await daemon.start()
+    try:
+        await daemon.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - loop teardown
+        pass
+    finally:
+        await daemon.aclose()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

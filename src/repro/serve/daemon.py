@@ -1,0 +1,241 @@
+"""The ``repro-serve`` daemon: HTTP routes over :class:`AdvisorService`.
+
+Endpoints
+---------
+
+=====================  ======================================================
+``GET /healthz``        liveness: ``{"status": "ok", "inflight": n}``
+``GET /v1/stats``       serving counters, admission knobs, store root
+``POST /v1/advise``     one advisor query (see :func:`~.service.parse_query`);
+                        ``"stream": true`` switches the response to a chunked
+                        NDJSON event stream (accepted → heartbeat/progress →
+                        result)
+=====================  ======================================================
+
+Failure mapping: malformed queries → 400, unknown paths → 404, admission
+rejection → 429 with a ``Retry-After`` header, engine failure (after the
+PR 5 resilience layer has retried/recovered) → 503 with the reason.  The
+daemon never dies with a request: every handler error becomes a JSON
+error response and a bumped ``failed`` counter.
+
+On close the daemon can fold its serving counters into a telemetry run
+record (``--emit-metrics``), so a service run lands in the same JSON
+Lines stream the batch CLI emits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.config import baseline_system
+from ..specs import SystemSpec
+from ..telemetry.core import MetricsScope
+from ..telemetry.record import append_record, build_run_record
+from .httpio import ChunkedJsonWriter, HttpError, Request, read_request, send_json
+from .service import (
+    AdviseError,
+    AdvisorService,
+    BadRequestError,
+    OverloadedError,
+    parse_query,
+)
+
+__all__ = ["ServeConfig", "CacheAdvisorDaemon"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the daemon needs to listen and admit work."""
+
+    host: str = "127.0.0.1"
+    #: 0 asks the OS for an ephemeral port (printed at startup; handy
+    #: for tests and parallel CI jobs).
+    port: int = 0
+    #: Bound on distinct cold keys simulating concurrently.
+    max_inflight: int = 4
+    #: Worker processes per engine batch (1 = inline in the sim thread).
+    jobs: int = 1
+    #: Seconds between streamed heartbeats.
+    heartbeat: float = 1.0
+    #: JSON Lines path for the shutdown run record (None = don't emit).
+    emit_metrics: Optional[str] = None
+
+
+class CacheAdvisorDaemon:
+    """Asyncio server wiring HTTP to one :class:`AdvisorService`."""
+
+    def __init__(self, config: ServeConfig, store=None) -> None:
+        self.config = config
+        self.service = AdvisorService(
+            store=store,
+            max_inflight=config.max_inflight,
+            jobs=config.jobs,
+            heartbeat=config.heartbeat,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._started = time.perf_counter()
+        self.port: Optional[int] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self._started = time.perf_counter()
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() must run first"
+        print(
+            f"repro-serve listening on http://{self.config.host}:{self.port} "
+            f"(max_inflight={self.config.max_inflight}, jobs={self.config.jobs})",
+            file=sys.stderr,
+            flush=True,
+        )
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.close()
+        if self.config.emit_metrics:
+            self._emit_run_record(self.config.emit_metrics)
+
+    def _emit_run_record(self, path: str) -> None:
+        """One telemetry run record for the whole serving session."""
+        scope = MetricsScope()
+        scope.record_serving(self.service.counters.as_dict())
+        record = build_run_record(
+            scope,
+            run="serve",
+            config=baseline_system(),
+            wall_time_s=time.perf_counter() - self._started,
+            jobs=self.config.jobs,
+            spec=SystemSpec(trace=None, config=baseline_system()),
+        )
+        append_record(path, record)
+
+    # -- request handling ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except (HttpError, asyncio.IncompleteReadError) as exc:
+                await send_json(writer, 400, {"error": f"bad request: {exc}"})
+                return
+            if request is None:
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # pragma: no cover - last-ditch guard
+            self.service.counters.failed += 1
+            try:
+                await send_json(writer, 500, {"error": f"internal error: {exc}"})
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            await send_json(
+                writer, 200, {"status": "ok", "inflight": self.service.inflight}
+            )
+            return
+        if route == ("GET", "/v1/stats"):
+            await send_json(writer, 200, self.stats_payload())
+            return
+        if route == ("POST", "/v1/advise"):
+            await self._advise(request, writer)
+            return
+        if request.path in ("/healthz", "/v1/stats", "/v1/advise"):
+            await send_json(writer, 405, {"error": f"{request.method} not allowed here"})
+            return
+        await send_json(writer, 404, {"error": f"no such endpoint: {request.path}"})
+
+    def stats_payload(self) -> dict:
+        return {
+            "serving": self.service.counters.as_dict(),
+            "inflight": self.service.inflight,
+            "max_inflight": self.service.max_inflight,
+            "jobs": self.service.jobs,
+            "retry_after_hint_s": round(self.service.retry_after, 3),
+            "uptime_s": round(time.perf_counter() - self._started, 3),
+            "store_root": str(self.service.store.root),
+        }
+
+    async def _advise(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        try:
+            query = parse_query(request.json())
+        except HttpError as exc:
+            await send_json(writer, 400, {"error": str(exc)})
+            return
+        except BadRequestError as exc:
+            await send_json(writer, 400, {"error": str(exc)})
+            return
+        if query.stream:
+            await self._advise_streaming(query, writer)
+            return
+        try:
+            payload = await self.service.advise(query)
+        except OverloadedError as exc:
+            await send_json(
+                writer,
+                exc.status,
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+                extra_headers={"Retry-After": str(max(1, int(exc.retry_after)))},
+            )
+            return
+        except AdviseError as exc:
+            await send_json(writer, exc.status, {"error": str(exc)})
+            return
+        await send_json(writer, 200, payload)
+
+    async def _advise_streaming(self, query, writer: asyncio.StreamWriter) -> None:
+        events = self.service.advise_stream(query)
+        chunked = ChunkedJsonWriter(writer)
+        try:
+            first = await events.__anext__()
+        except StopAsyncIteration:  # pragma: no cover - stream always yields
+            await send_json(writer, 500, {"error": "empty event stream"})
+            return
+        except OverloadedError as exc:
+            await send_json(
+                writer,
+                exc.status,
+                {"error": str(exc), "retry_after_s": exc.retry_after},
+                extra_headers={"Retry-After": str(max(1, int(exc.retry_after)))},
+            )
+            return
+        except AdviseError as exc:
+            await send_json(writer, exc.status, {"error": str(exc)})
+            return
+        await chunked.start(200)
+        await chunked.send(first)
+        try:
+            async for event in events:
+                await chunked.send(event)
+        except AdviseError as exc:
+            # The stream already started; deliver the failure as a final
+            # event — the HTTP status is long gone.
+            await chunked.send({"event": "error", "status": exc.status, "error": str(exc)})
+        finally:
+            await events.aclose()
+            await chunked.close()

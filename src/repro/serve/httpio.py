@@ -1,0 +1,306 @@
+"""Minimal HTTP/1.1 over asyncio streams: just enough for repro-serve.
+
+The daemon deliberately has **zero third-party dependencies** — no
+aiohttp, no uvicorn — so it runs wherever the simulator runs.  This
+module is the wire layer both sides share: request parsing and response
+writing for the server, and a small JSON client (plain and chunked-
+streaming) for the load generator, the tests, and the CI smoke job.
+
+Scope intentionally small: one request per connection
+(``Connection: close``), ``Content-Length`` bodies on requests,
+fixed-length or chunked (NDJSON event stream) bodies on responses.
+That covers the advisor protocol exactly and keeps every code path
+testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "send_json",
+    "ChunkedJsonWriter",
+    "request_json",
+    "stream_json_events",
+]
+
+#: Ceiling on request bodies: advisor queries are small JSON documents.
+MAX_BODY_BYTES = 1 << 20
+#: Ceiling on one request/status/header line.
+MAX_LINE_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A malformed or oversized HTTP message (either direction)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The request body decoded as JSON (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(f"request body is not valid JSON: {exc}") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    line = await reader.readline()
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError("header line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None on a clean EOF."""
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = line.decode("latin-1").rstrip("\r\n").partition(":")
+        if not sep:
+            raise HttpError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise HttpError(f"malformed Content-Length: {length_raw!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(f"request body of {length} bytes out of bounds")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method.upper(), path=path, query=query, headers=headers, body=body)
+
+
+def _status_head(status: int, headers: Dict[str, str]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers.items()]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Write one complete JSON response and flush it."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    headers = {
+        "Content-Type": "application/json",
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    writer.write(_status_head(status, headers) + body)
+    await writer.drain()
+
+
+class ChunkedJsonWriter:
+    """Chunked NDJSON event stream: one JSON object per chunk per line.
+
+    The server's streaming responses (``"stream": true`` advisor
+    queries) send an event object per chunk so clients render progress
+    as it happens; :func:`stream_json_events` is the matching reader.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._started = False
+
+    async def start(self, status: int = 200) -> None:
+        headers = {
+            "Content-Type": "application/x-ndjson",
+            "Transfer-Encoding": "chunked",
+            "Connection": "close",
+        }
+        self._writer.write(_status_head(status, headers))
+        await self._writer.drain()
+        self._started = True
+
+    async def send(self, event: object) -> None:
+        assert self._started, "start() must run before send()"
+        line = json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+        self._writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+        await self._writer.drain()
+
+    async def close(self) -> None:
+        if self._started:
+            self._writer.write(b"0\r\n\r\n")
+            await self._writer.drain()
+
+
+# -- client side --------------------------------------------------------------
+
+
+def _request_head(method: str, path: str, host: str, body: bytes) -> bytes:
+    return (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")
+
+
+async def _read_response_head(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str]]:
+    line = await _read_line(reader)
+    if not line:
+        raise HttpError("connection closed before the status line")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").rstrip("\r\n").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers
+
+
+async def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[object] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Dict[str, str], object]:
+    """One JSON round trip: ``(status, headers, decoded body)``.
+
+    Chunked responses are drained whole and decoded as the *last* JSON
+    line (the final ``result``/``error`` event), so callers that do not
+    care about streaming can issue the same queries streaming clients do.
+    """
+
+    async def _roundtrip():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            writer.write(_request_head(method, path, f"{host}:{port}", body) + body)
+            await writer.drain()
+            status, headers = await _read_response_head(reader)
+            if headers.get("transfer-encoding", "").lower() == "chunked":
+                raw = b"".join([chunk async for chunk in _iter_chunks(reader)])
+            else:
+                length = int(headers.get("content-length", "0"))
+                raw = await reader.readexactly(length) if length else b""
+            decoded: object = None
+            if raw:
+                lines = [line for line in raw.decode("utf-8").splitlines() if line.strip()]
+                decoded = json.loads(lines[-1]) if lines else None
+            return status, headers, decoded
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    return await asyncio.wait_for(_roundtrip(), timeout)
+
+
+async def _iter_chunks(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:
+    """Decode a chunked body, yielding each chunk's payload."""
+    while True:
+        size_line = await _read_line(reader)
+        if not size_line:
+            raise HttpError("connection closed mid chunked body")
+        try:
+            size = int(size_line.strip().split(b";")[0], 16)
+        except ValueError:
+            raise HttpError(f"malformed chunk size: {size_line!r}") from None
+        if size == 0:
+            await reader.readline()  # trailing CRLF (or trailers; none sent)
+            return
+        yield await reader.readexactly(size)
+        await reader.readexactly(2)  # chunk-terminating CRLF
+
+
+async def stream_json_events(
+    host: str,
+    port: int,
+    path: str,
+    payload: object,
+    timeout: float = 120.0,
+) -> Tuple[int, list]:
+    """POST a query and collect every NDJSON event of the chunked reply.
+
+    Returns ``(status, events)``; non-chunked error replies come back as
+    a single-event list so callers handle both shapes uniformly.
+    """
+
+    async def _collect():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(_request_head("POST", path, f"{host}:{port}", body) + body)
+            await writer.drain()
+            status, headers = await _read_response_head(reader)
+            events = []
+            if headers.get("transfer-encoding", "").lower() == "chunked":
+                buffered = b""
+                async for chunk in _iter_chunks(reader):
+                    buffered += chunk
+                    while b"\n" in buffered:
+                        line, buffered = buffered.split(b"\n", 1)
+                        if line.strip():
+                            events.append(json.loads(line))
+                if buffered.strip():
+                    events.append(json.loads(buffered))
+            else:
+                length = int(headers.get("content-length", "0"))
+                raw = await reader.readexactly(length) if length else b""
+                if raw:
+                    events.append(json.loads(raw))
+            return status, events
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    return await asyncio.wait_for(_collect(), timeout)

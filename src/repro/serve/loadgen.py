@@ -1,0 +1,335 @@
+"""Load generator for the cache-advisor daemon, with latency percentiles.
+
+ROADMAP's "heavy traffic from millions of users" becomes a measured
+claim here: :func:`run_loadgen` drives the daemon through its three
+request classes and reports per-class latency percentiles —
+
+* **warm** — keys already in the result store (pure store reads);
+* **cold** — fresh keys, each a real engine simulation;
+* **duplicate** — bursts of concurrent queries for one cold key, which
+  the daemon must coalesce into a single simulation.
+
+The ``repro-serve-loadgen`` console script wraps it for the CI smoke
+job (``--assert-coalescing`` fails the run unless the daemon's counters
+prove warm hits cost zero simulations and duplicate bursts coalesced),
+and ``benchmarks/test_serve_latency.py`` reuses :func:`run_loadgen` to
+pin p50/p95/p99 into ``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import ConfigurationError
+from .httpio import request_json
+
+__all__ = ["percentiles", "ClassReport", "LoadReport", "run_loadgen", "main"]
+
+
+def percentiles(samples: List[float], points=(50.0, 95.0, 99.0)) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` by linear interpolation."""
+    if not samples:
+        return {f"p{point:g}": 0.0 for point in points}
+    ordered = sorted(samples)
+    result: Dict[str, float] = {}
+    for point in points:
+        rank = (len(ordered) - 1) * point / 100.0
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        value = ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
+        result[f"p{point:g}"] = value
+    return result
+
+
+@dataclass
+class ClassReport:
+    """Latencies and outcomes of one request class (warm/cold/duplicate)."""
+
+    name: str
+    latencies_s: List[float] = field(default_factory=list)
+    served_from: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    rejected: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies_s)
+
+    def observe(self, latency: float, source: str) -> None:
+        self.latencies_s.append(latency)
+        self.served_from[source] = self.served_from.get(source, 0) + 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "requests": self.count,
+            "errors": self.errors,
+            "rejected": self.rejected,
+            "served_from": dict(self.served_from),
+            "latency_s": {
+                key: round(value, 6) for key, value in percentiles(self.latencies_s).items()
+            },
+        }
+
+
+@dataclass
+class LoadReport:
+    """Everything one load-generation run measured."""
+
+    classes: Dict[str, ClassReport]
+    server_stats: Dict[str, object]
+    elapsed_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "elapsed_s": round(self.elapsed_s, 3),
+            "classes": {name: report.as_dict() for name, report in self.classes.items()},
+            "server": self.server_stats,
+        }
+
+    def render(self) -> str:
+        lines = [f"loadgen finished in {self.elapsed_s:.2f}s"]
+        for name, report in self.classes.items():
+            pct = percentiles(report.latencies_s)
+            sources = " ".join(
+                f"{source}:{count}" for source, count in sorted(report.served_from.items())
+            )
+            lines.append(
+                f"  {name:<10} {report.count:>4} ok "
+                f"p50 {pct['p50'] * 1e3:8.2f}ms  p95 {pct['p95'] * 1e3:8.2f}ms  "
+                f"p99 {pct['p99'] * 1e3:8.2f}ms  [{sources}]"
+                + (f"  rejected:{report.rejected}" if report.rejected else "")
+                + (f"  errors:{report.errors}" if report.errors else "")
+            )
+        serving = self.server_stats.get("serving", {})
+        if serving:
+            lines.append(
+                "  server     "
+                + " ".join(f"{key}:{value}" for key, value in sorted(serving.items()))
+            )
+        return "\n".join(lines)
+
+
+def _query(trace: str, scale: Optional[int], seed: int, structure: Optional[str],
+           warmup: int = 0) -> Dict[str, object]:
+    return {
+        "trace": {"name": trace, "scale": scale, "seed": seed},
+        "structure": structure,
+        "side": "d",
+        "warmup": warmup,
+    }
+
+
+async def wait_ready(host: str, port: int, timeout: float = 20.0) -> None:
+    """Poll ``/healthz`` until the daemon answers (or raise TimeoutError)."""
+    deadline = time.perf_counter() + timeout
+    while True:
+        try:
+            status, _, _ = await request_json(host, port, "GET", "/healthz", timeout=2.0)
+            if status == 200:
+                return
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass
+        if time.perf_counter() >= deadline:
+            raise TimeoutError(f"repro-serve at {host}:{port} not ready after {timeout:g}s")
+        await asyncio.sleep(0.1)
+
+
+async def _timed_advise(host: str, port: int, payload: Dict, report: ClassReport,
+                        timeout: float) -> None:
+    started = time.perf_counter()
+    try:
+        status, _, body = await request_json(
+            host, port, "POST", "/v1/advise", payload, timeout=timeout
+        )
+    except (ConnectionError, OSError, asyncio.TimeoutError):
+        report.errors += 1
+        return
+    latency = time.perf_counter() - started
+    if status == 200 and isinstance(body, dict):
+        report.observe(latency, str(body.get("served_from", "unknown")))
+    elif status == 429:
+        report.rejected += 1
+    else:
+        report.errors += 1
+
+
+async def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8123,
+    trace: str = "linpack",
+    scale: Optional[int] = 2000,
+    seed: int = 0,
+    structure: Optional[str] = "vc4",
+    warm_requests: int = 20,
+    cold_requests: int = 3,
+    duplicates: int = 4,
+    concurrency: int = 8,
+    timeout: float = 120.0,
+    warmup_key: bool = True,
+) -> LoadReport:
+    """Drive the three request classes and collect a :class:`LoadReport`.
+
+    Cold keys are synthesised by varying the spec's ``warmup`` field —
+    same trace (no rematerialization cost), different ``spec_hash`` —
+    starting above any key the warm phase primed.  The duplicate burst
+    fires ``duplicates`` concurrent copies of one further fresh key.
+    """
+    started = time.perf_counter()
+    classes = {
+        "warm": ClassReport("warm"),
+        "cold": ClassReport("cold"),
+        "duplicate": ClassReport("duplicate"),
+    }
+    base = _query(trace, scale, seed, structure)
+    if warmup_key:
+        # Prime the warm key (not measured): first touch simulates.
+        prime = ClassReport("prime")
+        await _timed_advise(host, port, base, prime, timeout)
+        if prime.errors:
+            raise RuntimeError(f"priming request failed against {host}:{port}")
+    gate = asyncio.Semaphore(max(1, concurrency))
+
+    async def gated(payload: Dict, report: ClassReport) -> None:
+        async with gate:
+            await _timed_advise(host, port, payload, report, timeout)
+
+    await asyncio.gather(
+        *(gated(dict(base), classes["warm"]) for _ in range(warm_requests))
+    )
+    for index in range(cold_requests):
+        await gated(
+            _query(trace, scale, seed, structure, warmup=100 + index), classes["cold"]
+        )
+    duplicate_query = _query(trace, scale, seed, structure, warmup=100 + cold_requests)
+    await asyncio.gather(
+        *(gated(dict(duplicate_query), classes["duplicate"]) for _ in range(duplicates))
+    )
+    _, _, stats = await request_json(host, port, "GET", "/v1/stats", timeout=timeout)
+    return LoadReport(
+        classes=classes,
+        server_stats=stats if isinstance(stats, dict) else {},
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def check_coalescing(report: LoadReport) -> List[str]:
+    """Acceptance probes for the smoke job; returns failure reasons."""
+    failures = []
+    warm = report.classes["warm"]
+    if warm.count and warm.served_from.get("store", 0) != warm.count:
+        failures.append(
+            f"warm requests not all served from the store: {warm.served_from}"
+        )
+    duplicate = report.classes["duplicate"]
+    if duplicate.count:
+        simulated = duplicate.served_from.get("simulated", 0)
+        coalesced = duplicate.served_from.get("coalesced", 0)
+        # A follower that arrives after the shared job settled is served
+        # from the store — still zero extra simulations, so both count.
+        followers = coalesced + duplicate.served_from.get("store", 0)
+        if simulated != 1:
+            failures.append(
+                f"duplicate burst ran {simulated} simulations (expected exactly 1): "
+                f"{duplicate.served_from}"
+            )
+        if followers != duplicate.count - 1:
+            failures.append(
+                f"duplicate burst resolved {followers} of {duplicate.count - 1} "
+                f"followers without a simulation: {duplicate.served_from}"
+            )
+    serving = report.server_stats.get("serving", {})
+    observed = report.classes["duplicate"].served_from.get("coalesced", 0)
+    if isinstance(serving, dict) and serving.get("coalesced", 0) < observed:
+        failures.append(
+            f"server counters disagree with observed coalescing "
+            f"({observed} seen): {serving}"
+        )
+    return failures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-loadgen",
+        description="Generate warm/cold/duplicate load against repro-serve and report latency percentiles.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--trace", default="linpack", help="workload name (default: linpack)")
+    parser.add_argument("--scale", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--structure", default="vc4",
+        help='helper-structure code, e.g. vc4, mc4, sb4, sb4x4, or "none" (default: vc4)',
+    )
+    parser.add_argument("--warm-requests", type=int, default=20)
+    parser.add_argument("--cold-requests", type=int, default=3)
+    parser.add_argument("--duplicates", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--wait-ready", type=float, default=20.0, metavar="SECONDS",
+        help="poll /healthz up to SECONDS before generating load (default: 20)",
+    )
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--assert-coalescing",
+        action="store_true",
+        help="exit 1 unless warm hits cost zero simulations and duplicates coalesced",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.port < 1 or args.port > 65535:
+            raise ConfigurationError(f"--port must be between 1 and 65535, got {args.port}")
+        for name in ("warm_requests", "cold_requests", "duplicates", "concurrency"):
+            if getattr(args, name) < 0 or (name == "concurrency" and args.concurrency < 1):
+                flag = "--" + name.replace("_", "-")
+                raise ConfigurationError(f"{flag} must be non-negative, got {getattr(args, name)}")
+    except ConfigurationError as exc:
+        print(f"repro-serve-loadgen: {exc}", file=sys.stderr)
+        return 2
+    structure = None if args.structure in (None, "", "none") else args.structure
+
+    async def _run() -> LoadReport:
+        await wait_ready(args.host, args.port, timeout=args.wait_ready)
+        return await run_loadgen(
+            host=args.host,
+            port=args.port,
+            trace=args.trace,
+            scale=args.scale,
+            seed=args.seed,
+            structure=structure,
+            warm_requests=args.warm_requests,
+            cold_requests=args.cold_requests,
+            duplicates=args.duplicates,
+            concurrency=args.concurrency,
+            timeout=args.timeout,
+        )
+
+    try:
+        report = asyncio.run(_run())
+    except (TimeoutError, RuntimeError, ConnectionError, OSError) as exc:
+        print(f"repro-serve-loadgen: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report.as_dict(), indent=2) if args.json else report.render())
+    if args.assert_coalescing:
+        failures = check_coalescing(report)
+        for failure in failures:
+            print(f"repro-serve-loadgen: FAIL {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("repro-serve-loadgen: coalescing checks passed", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,475 @@
+"""The cache-advisor core: warm hits, coalesced cold misses, backpressure.
+
+This is the paper's question — *"what does a small fully-associative
+buffer buy this workload?"* — turned into an online service.  One
+:class:`AdvisorService` sits over the three layers earlier PRs built:
+
+* the **spec layer** keys each query: a request parses into a frozen
+  :class:`~repro.specs.SystemSpec`, whose ``spec_hash`` plus the trace's
+  content fingerprint is the request identity;
+* the **result store** is the memo: a warm key is answered from disk
+  with zero simulation;
+* the **engine** is the backend: a cold key becomes one
+  :class:`~repro.experiments.engine.LevelJob` executed (with the PR 5
+  resilience layer — retries, timeouts, recorded degradations) on a
+  bounded thread pool.
+
+Three serving behaviours make it production-shaped rather than a CLI
+with a socket:
+
+* **Request coalescing** — N concurrent queries for the same cold key
+  share *one* engine job; the result fans out to every waiter and is
+  flushed to the store once.
+* **Admission control** — at most ``max_inflight`` distinct cold keys
+  simulate at once; one more cold query is rejected with a retry hint
+  (HTTP 429 + ``Retry-After`` at the daemon layer) instead of queueing
+  unboundedly.  Warm hits and coalesced joins are always admitted — they
+  cost no simulation.
+* **Progress streaming** — subscribers get heartbeat events while their
+  simulation runs, fed by the engine's
+  :class:`~repro.telemetry.core.JobProgress` callbacks plus a
+  daemon-side ticker (a single inline job blocks its executor thread, so
+  the engine alone cannot heartbeat mid-job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional
+
+from ..common.config import baseline_system
+from ..common.errors import ConfigurationError, UnknownWorkloadError
+from ..specs import SpecError, SystemSpec, TraceSpec, parse_structure_code, spec_hash
+from ..specs.structures import structure_from_dict
+from ..store import ResultStore, current_store
+from ..store.codec import encode_result
+from ..traces.registry import get_workload
+from ..experiments.engine import (
+    LevelJob,
+    ResilienceOptions,
+    _store_key,
+    resolve_resilience,
+    run_jobs,
+)
+
+__all__ = [
+    "AdviseError",
+    "BadRequestError",
+    "OverloadedError",
+    "UpstreamError",
+    "AdviseQuery",
+    "ServingCounters",
+    "AdvisorService",
+]
+
+
+class AdviseError(Exception):
+    """Base class for request-path failures with an HTTP shape."""
+
+    status = 500
+
+
+class BadRequestError(AdviseError):
+    """The query could not be parsed into a valid simulation point."""
+
+    status = 400
+
+
+class OverloadedError(AdviseError):
+    """Admission control rejected a new cold simulation."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class UpstreamError(AdviseError):
+    """The engine could not produce a result (after its own resilience)."""
+
+    status = 503
+
+
+@dataclass(frozen=True)
+class AdviseQuery:
+    """One parsed advisor query: the spec plus transport options."""
+
+    spec: SystemSpec
+    stream: bool = False
+
+
+class ServingCounters:
+    """Monotonic request-path counters, exposed at ``/v1/stats``.
+
+    ``cold_misses`` counts *simulations dispatched* — the number the
+    acceptance benchmark pins: a warm sweep leaves it untouched and N
+    coalesced duplicates bump it exactly once.
+    """
+
+    __slots__ = (
+        "requests", "warm_hits", "cold_misses", "coalesced",
+        "rejected", "failed", "streams",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.warm_hits = 0
+        self.cold_misses = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.failed = 0
+        self.streams = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+@dataclass
+class _Inflight:
+    """One cold key being simulated, shared by every coalesced waiter."""
+
+    future: asyncio.Future
+    started: float
+    waiters: int = 1
+    #: Streaming subscribers; each receives JobProgress-shaped dicts and
+    #: a ``None`` sentinel when the job settles.
+    subscribers: List[asyncio.Queue] = field(default_factory=list)
+
+
+def parse_query(payload: object) -> AdviseQuery:
+    """Parse a request body into an :class:`AdviseQuery`.
+
+    Accepted shapes (everything but the trace is optional)::
+
+        {"spec": {...full canonical SystemSpec dict...}}
+        {"trace": {"name": "ccom", "scale": 20000, "seed": 0},
+         "structure": "vc4" | {"kind": "victim_cache", ...} | null,
+         "side": "d", "warmup": 0, "classify": false,
+         "cache": {"size_bytes": 16384, "line_size": 32},
+         "stream": false}
+
+    Malformed input raises :class:`BadRequestError` with a message safe
+    to echo to the client.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequestError("request body must be a JSON object")
+    stream = bool(payload.get("stream", False))
+    try:
+        if "spec" in payload:
+            spec = SystemSpec.from_dict(payload["spec"])
+            if spec.trace is None:
+                raise BadRequestError("spec must carry a trace reference")
+        else:
+            spec = _spec_from_shorthand(payload)
+    except BadRequestError:
+        raise
+    except (ConfigurationError, SpecError, KeyError, TypeError, ValueError) as exc:
+        raise BadRequestError(f"invalid query: {exc}") from None
+    try:
+        get_workload(spec.trace.name)
+    except UnknownWorkloadError as exc:
+        # KeyError subclass: str() would wrap the message in repr quotes.
+        raise BadRequestError(exc.args[0] if exc.args else str(exc)) from None
+    return AdviseQuery(spec=spec, stream=stream)
+
+
+def _spec_from_shorthand(payload: Dict) -> SystemSpec:
+    trace_raw = payload.get("trace")
+    if isinstance(trace_raw, str):
+        trace_raw = {"name": trace_raw}
+    if not isinstance(trace_raw, dict) or "name" not in trace_raw:
+        raise BadRequestError(
+            'query needs a trace: {"trace": {"name": ..., "scale": ..., "seed": ...}}'
+        )
+    trace = TraceSpec.from_dict(trace_raw)
+    structure_raw = payload.get("structure")
+    if structure_raw is None or isinstance(structure_raw, str):
+        structure = parse_structure_code(structure_raw)
+    elif isinstance(structure_raw, dict):
+        structure = structure_from_dict(structure_raw)
+    else:
+        raise BadRequestError("structure must be a short code, a spec object, or null")
+    side = payload.get("side", "d")
+    base = baseline_system()
+    cache = base.icache if side == "i" else base.dcache
+    cache_raw = payload.get("cache")
+    if cache_raw is not None:
+        if not isinstance(cache_raw, dict):
+            raise BadRequestError("cache must be an object with size_bytes/line_size")
+        cache = cache.__class__(
+            size_bytes=int(cache_raw.get("size_bytes", cache.size_bytes)),
+            line_size=int(cache_raw.get("line_size", cache.line_size)),
+        )
+    spec = SystemSpec.for_level(
+        trace,
+        cache,
+        side=side,
+        structure=structure,
+        warmup=int(payload.get("warmup", 0)),
+        classify=bool(payload.get("classify", False)),
+    )
+    assert spec is not None  # TraceSpec input never returns None
+    return spec
+
+
+def _summary_payload(summary) -> Dict[str, object]:
+    """Client-facing derived rates alongside the raw counters."""
+    return {
+        "miss_rate": round(summary.miss_rate, 6),
+        "effective_miss_rate": round(summary.effective_miss_rate, 6),
+        "percent_misses_removed": round(summary.percent_removed, 3),
+    }
+
+
+class AdvisorService:
+    """Coalescing, admission-controlled advisor over engine + store.
+
+    Must be created (and used) inside a running event loop.  *store*
+    defaults to :func:`~repro.store.current_store` — the daemon CLI
+    guarantees one is configured before construction.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        max_inflight: int = 4,
+        jobs: int = 1,
+        heartbeat: float = 1.0,
+        resilience: Optional[ResilienceOptions] = None,
+    ) -> None:
+        store = store if store is not None else current_store()
+        if store is None:
+            raise ConfigurationError(
+                "AdvisorService needs a result store (set REPRO_RESULT_STORE "
+                "or pass store=)"
+            )
+        if max_inflight < 1:
+            raise ConfigurationError(f"max_inflight must be at least 1, got {max_inflight}")
+        self.store = store
+        self.max_inflight = max_inflight
+        self.jobs = max(1, jobs)
+        self.heartbeat = heartbeat
+        self.resilience = resolve_resilience(resilience)
+        self.counters = ServingCounters()
+        self._inflight: Dict[str, _Inflight] = {}
+        #: Simulations: one thread per admitted cold key.
+        self._sim_pool = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve-sim"
+        )
+        #: Key derivation + store reads: kept off the sim pool so warm
+        #: hits never queue behind long cold simulations.
+        self._lookup_pool = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="repro-serve-lookup"
+        )
+        #: EWMA of cold-simulation seconds, feeding Retry-After hints.
+        self._cold_seconds = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._sim_pool.shutdown(wait=False, cancel_futures=True)
+        self._lookup_pool.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before retrying."""
+        return min(60.0, max(1.0, self._cold_seconds))
+
+    # -- the request path ------------------------------------------------------
+
+    async def advise(self, query: AdviseQuery) -> Dict[str, object]:
+        """Answer one query; raises an :class:`AdviseError` subclass."""
+        self.counters.requests += 1
+        loop = asyncio.get_running_loop()
+        try:
+            job, key, cached = await loop.run_in_executor(
+                self._lookup_pool, self._lookup, query.spec
+            )
+        except AdviseError:
+            raise
+        except Exception as exc:
+            raise BadRequestError(f"query could not be keyed: {exc}") from None
+        if cached is not None:
+            self.counters.warm_hits += 1
+            return self._payload(query.spec, key, cached, served_from="store")
+        entry, coalesced = self._attach_or_dispatch(job, key)
+        try:
+            summary = await asyncio.shield(entry.future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.counters.failed += 1
+            raise UpstreamError(f"simulation failed: {exc}") from exc
+        return self._payload(
+            query.spec, key, summary,
+            served_from="coalesced" if coalesced else "simulated",
+        )
+
+    async def advise_stream(self, query: AdviseQuery) -> AsyncIterator[Dict[str, object]]:
+        """Like :meth:`advise`, but yields accepted/heartbeat/progress
+        events while the simulation runs, ending with ``result`` (or
+        raising before the first event for rejected/malformed queries).
+        """
+        self.counters.requests += 1
+        self.counters.streams += 1
+        loop = asyncio.get_running_loop()
+        job, key, cached = await loop.run_in_executor(
+            self._lookup_pool, self._lookup, query.spec
+        )
+        if cached is not None:
+            self.counters.warm_hits += 1
+            yield {"event": "accepted", "served_from": "store"}
+            yield dict(
+                self._payload(query.spec, key, cached, served_from="store"),
+                event="result",
+            )
+            return
+        entry, coalesced = self._attach_or_dispatch(job, key)
+        served_from = "coalesced" if coalesced else "simulated"
+        yield {"event": "accepted", "served_from": served_from}
+        queue: asyncio.Queue = asyncio.Queue()
+        entry.subscribers.append(queue)
+        started = time.perf_counter()
+        try:
+            while True:
+                try:
+                    item = await asyncio.wait_for(queue.get(), timeout=self.heartbeat)
+                except asyncio.TimeoutError:
+                    yield {
+                        "event": "heartbeat",
+                        "elapsed_s": round(time.perf_counter() - started, 3),
+                        "inflight": self.inflight,
+                    }
+                    continue
+                if item is None:
+                    break
+                yield dict(item, event="progress")
+        finally:
+            if queue in entry.subscribers:
+                entry.subscribers.remove(queue)
+        try:
+            summary = await asyncio.shield(entry.future)
+        except Exception as exc:
+            self.counters.failed += 1
+            raise UpstreamError(f"simulation failed: {exc}") from exc
+        yield dict(
+            self._payload(query.spec, key, summary, served_from=served_from),
+            event="result",
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _lookup(self, spec: SystemSpec):
+        """(sync, lookup pool) Build the job, its key, and probe the store.
+
+        Materializes the trace (process-memoized) the first time a
+        workload is referenced — the fingerprint half of the key needs
+        the content.
+        """
+        job = LevelJob(spec)
+        key = _store_key(job)
+        assert key is not None  # LevelJob with a TraceSpec is always keyable
+        cached, _nbytes = self.store.get(key)
+        return job, key, cached
+
+    def _attach_or_dispatch(self, job: LevelJob, key):
+        """``(entry, coalesced)``: join the inflight simulation for *key*
+        or admit a new one.
+
+        Runs on the event loop, so the check-then-create on
+        ``_inflight`` is race-free.
+        """
+        digest = key.digest()
+        entry = self._inflight.get(digest)
+        if entry is not None:
+            entry.waiters += 1
+            self.counters.coalesced += 1
+            return entry, True
+        if len(self._inflight) >= self.max_inflight:
+            self.counters.rejected += 1
+            raise OverloadedError(
+                f"{len(self._inflight)} simulations already in flight "
+                f"(max_inflight={self.max_inflight})",
+                retry_after=self.retry_after,
+            )
+        self.counters.cold_misses += 1
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(future=loop.create_future(), started=time.perf_counter())
+        self._inflight[digest] = entry
+
+        def _progress(update) -> None:
+            # Called from the sim thread: marshal onto the loop.
+            if not entry.subscribers:
+                return
+            payload = {
+                "done": update.done,
+                "total": update.total,
+                "elapsed_s": round(update.elapsed, 3),
+                "store_hits": update.store_hits,
+                "retries": update.retries,
+                "note": update.note,
+                "backend": update.backend,
+            }
+            loop.call_soon_threadsafe(self._fan_out, entry, payload)
+
+        def _simulate():
+            summary = run_jobs(
+                [job],
+                jobs=self.jobs,
+                progress=_progress,
+                heartbeat=self.heartbeat,
+                resilience=self.resilience,
+            )[0]
+            # The engine flushes to the env-resolved store; when the
+            # service was handed a different one, flush there too or the
+            # warm path never warms.
+            active = current_store()
+            if active is None or active.root != self.store.root:
+                self.store.put(key, summary)
+            return summary
+
+        task = loop.run_in_executor(self._sim_pool, _simulate)
+        task.add_done_callback(lambda done: self._settle(digest, entry, done))
+        return entry, False
+
+    def _fan_out(self, entry: _Inflight, payload: Optional[Dict]) -> None:
+        for queue in entry.subscribers:
+            queue.put_nowait(payload)
+
+    def _settle(self, digest: str, entry: _Inflight, done) -> None:
+        self._inflight.pop(digest, None)
+        if done.cancelled():
+            entry.future.cancel()
+        else:
+            exc = done.exception()
+            if exc is not None:
+                entry.future.set_exception(exc)
+                # Mark retrieved: waiters re-raise their own copy, and a
+                # waiterless failure must not log "never retrieved".
+                entry.future.exception()
+            else:
+                elapsed = time.perf_counter() - entry.started
+                self._cold_seconds = (
+                    elapsed if self._cold_seconds == 0.0
+                    else 0.7 * self._cold_seconds + 0.3 * elapsed
+                )
+                entry.future.set_result(done.result())
+        self._fan_out(entry, None)
+
+    def _payload(self, spec, key, summary, served_from: str) -> Dict[str, object]:
+        return {
+            "served_from": served_from,
+            "spec_hash": spec_hash(spec),
+            "trace_fingerprint": key.trace_fingerprint,
+            "key_digest": key.digest(),
+            "result": encode_result(summary),
+            "summary": _summary_payload(summary),
+        }

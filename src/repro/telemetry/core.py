@@ -232,6 +232,10 @@ class MetricsScope:
         self.poisoned_jobs = 0
         # Simulation-kernel backend selection (backend name -> job count).
         self.backend_jobs: Dict[str, int] = {}
+        # Serving-layer traffic (counter name -> count), folded in by the
+        # repro-serve daemon: requests, warm_hits, cold_misses, coalesced,
+        # rejected, failed, streams.
+        self.serving: Dict[str, int] = {}
 
     # -- counters/timers ------------------------------------------------------
 
@@ -274,6 +278,11 @@ class MetricsScope:
         """Accumulate one batch's kernel-backend selection counts."""
         for backend, count in counts.items():
             self.backend_jobs[backend] = self.backend_jobs.get(backend, 0) + count
+
+    def record_serving(self, counts: Dict[str, int]) -> None:
+        """Accumulate serving-layer request counters (repro-serve)."""
+        for name, count in counts.items():
+            self.serving[name] = self.serving.get(name, 0) + count
 
     # -- simulation observations ----------------------------------------------
 

@@ -96,6 +96,10 @@ _OPTIONAL_SCHEMA: Dict[str, tuple] = {
     # (e.g. {"numpy": 12, "python": 3}); empty when the run dispatched
     # no backend-selected simulations.
     "backends": (dict,),
+    # Serving-layer traffic from the repro-serve daemon: {"requests": int,
+    # "warm_hits": int, "cold_misses": int, "coalesced": int,
+    # "rejected": int, "failed": int, ...}; empty for non-serving runs.
+    "serving": (dict,),
 }
 
 _MODES = ("serial", "parallel")
@@ -156,6 +160,8 @@ class RunRecord:
     resilience: Dict[str, int] = field(default_factory=dict)
     #: Kernel-backend selection counts (empty when nothing dispatched).
     backends: Dict[str, int] = field(default_factory=dict)
+    #: Serving-layer request counters (empty for non-serving runs).
+    serving: Dict[str, int] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
@@ -236,6 +242,7 @@ def build_run_record(
             else {}
         ),
         backends=dict(scope.backend_jobs),
+        serving=dict(scope.serving),
     )
 
 
@@ -268,7 +275,7 @@ def validate_record(payload: Mapping) -> None:
             expected = "/".join(t.__name__ for t in types)
             raise ValueError(f"run record field {key!r} must be {expected}, got {payload[key]!r}")
     groups = ("l1i", "l1d", "l2", "level") + tuple(
-        key for key in ("store", "resilience", "backends") if key in payload
+        key for key in ("store", "resilience", "backends", "serving") if key in payload
     )
     for group in groups:
         for name, count in payload[group].items():

@@ -193,6 +193,33 @@ class PackedTrace(MaterializedTrace):
     def _content_buffers(self) -> Tuple[bytes, bytes]:
         return self._kinds.tobytes(), self._addresses.tobytes()
 
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle only the packed buffers, never the derived caches.
+
+        A warmed trace accumulates rebuildable views — the legacy pairs
+        list, per-side address lists, and the numpy arrays cached by
+        :meth:`as_arrays`/:meth:`stream_array` (which pickle as *full
+        int64 copies*, not views) — that can dwarf the packed buffers
+        themselves.  Shipping them to workers or between a daemon and
+        its clients would inflate exactly the payloads PackedTrace was
+        built to shrink, so pickling drops every cache; the receiver
+        rebuilds them lazily (read-only flags and all) on first use.
+        The content fingerprint and reference counts are kept: they are
+        tiny and expensive to recompute.
+        """
+        state = self.__dict__.copy()
+        state["_pairs"] = None
+        state["_instruction_addresses"] = None
+        state["_data_addresses"] = None
+        state["_array_views"] = None
+        state["_stream_arrays"] = {}
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
 
 # -- shared-memory handoff ----------------------------------------------------
 
@@ -247,6 +274,9 @@ def share_packed_traces(
                 )
             )
     except Exception:
+        # A mid-loop failure (ENOSPC on /dev/shm is the classic) must
+        # unwind every segment already created: shared-memory names are
+        # system-global and would otherwise leak past process exit.
         release_shared_segments(segments)
         raise
     return descriptors, segments
@@ -274,10 +304,19 @@ def attach_shared_trace(descriptor: SharedTraceDescriptor) -> PackedTrace:
 
 
 def release_shared_segments(segments) -> None:
-    """Close and unlink segments, ignoring already-released ones."""
+    """Close and unlink segments, ignoring already-released ones.
+
+    ``close`` and ``unlink`` fail independently: a mapping error on
+    close must not leave the segment name registered in ``/dev/shm``
+    (the leak that matters — names outlive the process), so each call
+    gets its own guard instead of one shared try block.
+    """
     for segment in segments:
         try:
             segment.close()
+        except (FileNotFoundError, OSError):  # pragma: no cover - cleanup race
+            pass
+        try:
             segment.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover - cleanup race
             pass

@@ -256,6 +256,73 @@ class TestPoolResilience:
             assert run_jobs(jobs, jobs=2, resilience=opts) == clean
 
 
+class TestOffMainThreadTimeout:
+    """Regression: ``--job-timeout`` off the main thread (the serve
+    daemon runs inline jobs under executor threads) must degrade to the
+    watchdog path — ``signal.signal`` raises ``ValueError`` there, and
+    before the watchdog existed such jobs simply ran unbounded."""
+
+    @staticmethod
+    def run_in_thread(fn):
+        import threading
+
+        box = {}
+
+        def target():
+            try:
+                box["value"] = fn()
+            except BaseException as exc:
+                box["error"] = exc
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join(30)
+        assert not worker.is_alive(), "threaded run_jobs call never returned"
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    @pytest.fixture(autouse=True)
+    def fresh_watchdog_warning(self, monkeypatch):
+        from repro.experiments import engine
+
+        monkeypatch.setattr(engine, "_WATCHDOG_WARNED", False)
+
+    def test_hung_job_times_out_with_a_recorded_warning(self, no_store):
+        import warnings
+
+        jobs = level_jobs(2)
+        faults.set_plan("hang@0:5")
+        opts = ResilienceOptions(job_timeout=0.3, retries=0, backoff_base=0.0)
+
+        def call():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with telemetry.scoped() as scope:
+                    with pytest.raises(JobFailedError) as excinfo:
+                        run_jobs(jobs, resilience=opts)
+            return excinfo.value, caught, scope
+
+        error, caught, scope = self.run_in_thread(call)
+        # The hung job timed out instead of running unbounded (or
+        # crashing the batch with signal's ValueError)...
+        assert [f.index for f in error.failures] == [0]
+        assert "timed out after 0.3s" in error.failures[0].reason
+        # ...and the degraded enforcement is surfaced, not silent.
+        assert any(
+            issubclass(w.category, RuntimeWarning) and "watchdog" in str(w.message)
+            for w in caught
+        )
+        assert any(event.component == "serial_deadline" for event in scope.fallbacks)
+
+    def test_clean_jobs_pass_results_through_the_watchdog(self, no_store):
+        jobs = level_jobs(2)
+        clean = run_jobs(jobs)  # main thread, no deadline
+        opts = ResilienceOptions(job_timeout=30.0, retries=0, backoff_base=0.0)
+        with pytest.warns(RuntimeWarning, match="watchdog"):
+            assert self.run_in_thread(lambda: run_jobs(jobs, resilience=opts)) == clean
+
+
 class TestCheckpointResume:
     def test_crash_then_resume_matches_clean_serial_run(
         self, tmp_path, monkeypatch, sim_counter

@@ -118,6 +118,57 @@ class TestUniqueLinesValidation:
         assert trace.unique_lines("d", 4096) >= 1
 
 
+class TestPicklePayload:
+    """Regression: pickling a warmed trace must not ship derived caches.
+
+    Before ``__getstate__`` existed, a trace that had served ``.pairs``
+    or the numpy stream caches pickled *all* of them — the numpy views
+    serialize as full int64 copies, not views — multiplying the payload
+    the packed form exists to shrink."""
+
+    @staticmethod
+    def warmed(trace: PackedTrace) -> PackedTrace:
+        trace.pairs
+        trace.instruction_addresses
+        trace.data_addresses
+        trace.stats()
+        trace.fingerprint()
+        try:
+            trace.as_arrays()
+            trace.stream_array("i")
+            trace.stream_array("d")
+        except ImportError:  # packed traces work without numpy
+            pass
+        return trace
+
+    def test_warmed_trace_pickles_no_bigger_than_cold(self):
+        import pickle
+
+        cold = len(pickle.dumps(build_trace("liver", 2_000).materialize()))
+        warm = len(pickle.dumps(self.warmed(build_trace("liver", 2_000).materialize())))
+        # Identical buffers; only the (tiny) kept stats/fingerprint may
+        # differ between the two payloads.
+        assert warm <= cold + 512
+
+    def test_round_trip_rebuilds_caches_read_only(self):
+        import pickle
+
+        source = self.warmed(build_trace("liver", 2_000).materialize())
+        clone = pickle.loads(pickle.dumps(source))
+        assert isinstance(clone, PackedTrace)
+        assert list(clone) == list(source)
+        assert clone.pairs == source.pairs
+        assert clone.stats() == source.stats()
+        assert clone.fingerprint() == source.fingerprint()
+        numpy = pytest.importorskip("numpy")
+        kinds, addresses = clone.as_arrays()
+        assert not kinds.flags.writeable and not addresses.flags.writeable
+        for side in ("i", "d"):
+            stream = clone.stream_array(side)
+            assert not stream.flags.writeable
+            assert numpy.array_equal(stream, source.stream_array(side))
+
+
 class TestSharedMemoryHandoff:
     def test_round_trip(self):
         source = build_trace("liver", 2_000).materialize()
@@ -139,3 +190,49 @@ class TestSharedMemoryHandoff:
         _, segments = share_packed_traces([(("t", None, 0), source)])
         release_shared_segments(segments)
         release_shared_segments(segments)  # second call must not raise
+
+    def test_midloop_failure_unwinds_earlier_segments(self, monkeypatch):
+        """Regression: an ENOSPC on the second segment must unlink the
+        first — shared-memory names are system-global and outlive the
+        process when leaked."""
+        from multiprocessing import shared_memory
+
+        real = shared_memory.SharedMemory
+        created = []
+
+        def flaky(*args, **kwargs):
+            if kwargs.get("create"):
+                if created:  # second create fails like a full /dev/shm
+                    raise OSError(28, "No space left on device")
+                segment = real(*args, **kwargs)
+                created.append(segment.name)
+                return segment
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", flaky)
+        with pytest.raises(OSError, match="No space left"):
+            share_packed_traces([(("a", None, 0), packed()), (("b", None, 0), packed())])
+        assert created
+        with pytest.raises(FileNotFoundError):
+            real(name=created[0])  # the first segment was unlinked
+
+    def test_unlink_happens_even_when_close_fails(self):
+        """Regression: close() and unlink() fail independently; a close
+        error must not leave the name registered."""
+        from multiprocessing import shared_memory
+
+        _, segments = share_packed_traces([(("t", None, 0), packed())])
+        (segment,) = segments
+        name = segment.name
+
+        class CloseFails:
+            def close(self):
+                raise OSError("mapping already torn down")
+
+            def unlink(self):
+                segment.unlink()
+
+        release_shared_segments([CloseFails()])
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        segment.close()  # release this process's mapping

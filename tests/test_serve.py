@@ -1,0 +1,448 @@
+"""repro-serve: routes, warm/cold paths, coalescing, admission, streaming.
+
+Engine-independent behaviours (coalescing, overload, heartbeats) pin the
+service against a controllable fake ``run_jobs`` — monkeypatched at
+``repro.serve.service.run_jobs``, where ``_simulate`` resolves it — so
+the tests are deterministic and fast.  The cold→warm transition and the
+small loadgen round trip use the real engine at a tiny scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.experiments.engine import LevelSummary
+from repro.serve import service as service_mod
+from repro.serve.cli import main as serve_main
+from repro.serve.daemon import CacheAdvisorDaemon, ServeConfig
+from repro.serve.httpio import HttpError, Request, request_json, stream_json_events
+from repro.serve.loadgen import (
+    ClassReport,
+    LoadReport,
+    check_coalescing,
+    percentiles,
+    run_loadgen,
+)
+from repro.serve.loadgen import main as loadgen_main
+from repro.store import current_store
+
+SCALE = 1_500
+
+#: What the fake engine "computes" — any valid LevelSummary will do.
+SUMMARY = LevelSummary(
+    accesses=100, demand_misses=10, removed_misses=4, misses_to_next_level=6
+)
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    """An activated result store rooted in a temp dir."""
+    monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "store"))
+    yield current_store()
+
+
+class FakeEngine:
+    """A ``run_jobs`` stand-in: counts calls, can hold jobs hostage."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.release.set()
+
+    def __call__(self, job_list, **kwargs):
+        self.calls += 1
+        self.started.set()
+        assert self.release.wait(30), "test never released the fake engine"
+        return [SUMMARY for _ in job_list]
+
+
+@pytest.fixture
+def fake_engine(monkeypatch):
+    fake = FakeEngine()
+    monkeypatch.setattr(service_mod, "run_jobs", fake)
+    return fake
+
+
+def serve_test(coro_fn, **config):
+    """Run ``coro_fn(daemon)`` against a live daemon on an ephemeral port."""
+
+    async def runner():
+        daemon = CacheAdvisorDaemon(ServeConfig(port=0, **config))
+        await daemon.start()
+        try:
+            return await coro_fn(daemon)
+        finally:
+            await daemon.aclose()
+
+    return asyncio.run(runner())
+
+
+def query(warmup: int = 0, **over):
+    q = {
+        "trace": {"name": "linpack", "scale": SCALE, "seed": 0},
+        "structure": "vc4",
+        "side": "d",
+        "warmup": warmup,
+    }
+    q.update(over)
+    return q
+
+
+async def advise(daemon, payload, timeout=60.0):
+    return await request_json(
+        "127.0.0.1", daemon.port, "POST", "/v1/advise", payload, timeout=timeout
+    )
+
+
+class TestRoutes:
+    def test_healthz(self, store):
+        async def check(daemon):
+            status, _, body = await request_json(
+                "127.0.0.1", daemon.port, "GET", "/healthz", timeout=10
+            )
+            assert status == 200
+            assert body == {"status": "ok", "inflight": 0}
+
+        serve_test(check)
+
+    def test_unknown_path_is_404(self, store):
+        async def check(daemon):
+            status, _, body = await request_json(
+                "127.0.0.1", daemon.port, "GET", "/nope", timeout=10
+            )
+            assert status == 404 and "/nope" in body["error"]
+
+        serve_test(check)
+
+    def test_wrong_method_is_405(self, store):
+        async def check(daemon):
+            status, _, _ = await request_json(
+                "127.0.0.1", daemon.port, "PUT", "/healthz", timeout=10
+            )
+            assert status == 405
+
+        serve_test(check)
+
+    def test_invalid_json_body_is_400(self, store):
+        async def check(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            body = b"not json!"
+            writer.write(
+                b"POST /v1/advise HTTP/1.1\r\nHost: t\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10)
+            writer.close()
+            assert raw.startswith(b"HTTP/1.1 400 ")
+
+        serve_test(check)
+
+    def test_unknown_workload_is_400(self, store):
+        async def check(daemon):
+            status, _, body = await advise(daemon, query(trace={"name": "no-such"}))
+            assert status == 400
+            assert "unknown workload" in body["error"]
+            # KeyError repr quotes must not leak into the message.
+            assert not body["error"].startswith('"')
+
+        serve_test(check)
+
+    def test_missing_trace_is_400(self, store):
+        async def check(daemon):
+            status, _, body = await advise(daemon, {"structure": "vc4"})
+            assert status == 400 and "trace" in body["error"]
+
+        serve_test(check)
+
+    def test_request_json_helper_rejects_bad_bodies(self):
+        with pytest.raises(HttpError):
+            Request(method="POST", path="/", query="", body=b"{nope").json()
+
+
+class TestColdThenWarm:
+    def test_second_query_is_a_store_hit(self, store):
+        async def check(daemon):
+            status1, _, first = await advise(daemon, query())
+            status2, _, second = await advise(daemon, query())
+            assert (status1, status2) == (200, 200)
+            assert first["served_from"] == "simulated"
+            assert second["served_from"] == "store"
+            # Identical identity and identical result both times.
+            assert first["key_digest"] == second["key_digest"]
+            assert first["spec_hash"] == second["spec_hash"]
+            assert first["result"] == second["result"]
+            assert second["summary"]["miss_rate"] > 0
+            counters = daemon.service.counters
+            assert counters.requests == 2
+            assert counters.cold_misses == 1
+            assert counters.warm_hits == 1
+            return daemon.service.store
+
+        used = serve_test(check)
+        assert used.stats().entries == 1  # the engine flushed exactly one result
+
+    def test_explicit_store_warms_without_env_store(self, tmp_path, monkeypatch):
+        """Regression: with ``store=`` passed explicitly and no
+        ``REPRO_RESULT_STORE``, the engine flushes nowhere — the service
+        must flush its own store or cold keys never warm."""
+        from repro.store import ResultStore
+
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+
+        async def check():
+            daemon = CacheAdvisorDaemon(
+                ServeConfig(port=0), store=ResultStore(tmp_path / "serve-only")
+            )
+            await daemon.start()
+            try:
+                _, _, first = await advise(daemon, query())
+                _, _, second = await advise(daemon, query())
+            finally:
+                await daemon.aclose()
+            assert first["served_from"] == "simulated"
+            assert second["served_from"] == "store"
+
+        asyncio.run(check())
+
+
+class TestCoalescing:
+    def test_duplicate_burst_runs_one_simulation(self, store, fake_engine):
+        fake_engine.release.clear()
+
+        async def check(daemon):
+            loop = asyncio.get_running_loop()
+            burst = [asyncio.ensure_future(advise(daemon, query(warmup=7))) for _ in range(5)]
+            await loop.run_in_executor(None, fake_engine.started.wait, 10)
+            # All five are attached to one inflight entry before release.
+            assert daemon.service.inflight == 1
+            fake_engine.release.set()
+            outcomes = await asyncio.gather(*burst)
+            assert [status for status, _, _ in outcomes] == [200] * 5
+            sources = sorted(body["served_from"] for _, _, body in outcomes)
+            assert sources == ["coalesced"] * 4 + ["simulated"]
+            assert daemon.service.counters.coalesced == 4
+            assert daemon.service.counters.cold_misses == 1
+
+        serve_test(check)
+        assert fake_engine.calls == 1
+
+    def test_distinct_keys_do_not_coalesce(self, store, fake_engine):
+        async def check(daemon):
+            outcomes = await asyncio.gather(
+                advise(daemon, query(warmup=1)), advise(daemon, query(warmup=2))
+            )
+            assert [status for status, _, _ in outcomes] == [200, 200]
+            assert daemon.service.counters.coalesced == 0
+
+        serve_test(check)
+        assert fake_engine.calls == 2
+
+
+class TestAdmissionControl:
+    def test_saturated_daemon_rejects_new_cold_keys(self, store, fake_engine):
+        fake_engine.release.clear()
+
+        async def check(daemon):
+            loop = asyncio.get_running_loop()
+            blocked = asyncio.ensure_future(advise(daemon, query(warmup=1)))
+            await loop.run_in_executor(None, fake_engine.started.wait, 10)
+
+            # A *different* cold key is turned away with retry guidance...
+            status, headers, body = await advise(daemon, query(warmup=2))
+            assert status == 429
+            assert int(headers["retry-after"]) >= 1
+            assert body["retry_after_s"] >= 1
+            # ...but a duplicate of the blocked key still coalesces...
+            follower = asyncio.ensure_future(advise(daemon, query(warmup=1)))
+            await asyncio.sleep(0.05)
+            assert daemon.service.counters.coalesced == 1
+            # ...and a warm key is still served: admission only guards sims.
+            warm_spec = service_mod.parse_query(query(warmup=3)).spec
+            _, warm_key, _ = await loop.run_in_executor(
+                None, daemon.service._lookup, warm_spec
+            )
+            daemon.service.store.put(warm_key, SUMMARY)
+            status, _, warm = await advise(daemon, query(warmup=3))
+            assert status == 200 and warm["served_from"] == "store"
+
+            fake_engine.release.set()
+            (status1, _, _), (status2, _, _) = await asyncio.gather(blocked, follower)
+            assert (status1, status2) == (200, 200)
+            assert daemon.service.counters.rejected == 1
+
+        serve_test(check, max_inflight=1)
+        assert fake_engine.calls == 1
+
+
+class TestStreaming:
+    def test_cold_stream_heartbeats_then_result(self, store, fake_engine):
+        fake_engine.release.clear()
+
+        async def check(daemon):
+            loop = asyncio.get_running_loop()
+            collected = asyncio.ensure_future(
+                stream_json_events(
+                    "127.0.0.1", daemon.port, "/v1/advise",
+                    query(warmup=5, stream=True), timeout=30,
+                )
+            )
+            await loop.run_in_executor(None, fake_engine.started.wait, 10)
+            await asyncio.sleep(0.15)  # let a few heartbeats tick
+            fake_engine.release.set()
+            status, events = await collected
+            assert status == 200
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "accepted" and events[0]["served_from"] == "simulated"
+            assert kinds[-1] == "result"
+            assert kinds.count("heartbeat") >= 1
+            assert events[-1]["served_from"] == "simulated"
+            assert daemon.service.counters.streams == 1
+
+        serve_test(check, heartbeat=0.02)
+
+    def test_warm_stream_skips_straight_to_result(self, store):
+        async def check(daemon):
+            await advise(daemon, query())  # prime the key (real engine)
+            status, events = await stream_json_events(
+                "127.0.0.1", daemon.port, "/v1/advise",
+                query(stream=True), timeout=30,
+            )
+            assert status == 200
+            assert [event["event"] for event in events] == ["accepted", "result"]
+            assert events[-1]["served_from"] == "store"
+
+        serve_test(check)
+
+    def test_rejected_stream_gets_http_429(self, store, fake_engine):
+        fake_engine.release.clear()
+
+        async def check(daemon):
+            loop = asyncio.get_running_loop()
+            blocked = asyncio.ensure_future(advise(daemon, query(warmup=1)))
+            await loop.run_in_executor(None, fake_engine.started.wait, 10)
+            status, events = await stream_json_events(
+                "127.0.0.1", daemon.port, "/v1/advise",
+                query(warmup=2, stream=True), timeout=30,
+            )
+            assert status == 429  # rejected before the stream starts
+            assert "retry_after_s" in events[0]
+            fake_engine.release.set()
+            status, _, _ = await blocked
+            assert status == 200
+
+        serve_test(check, max_inflight=1)
+
+
+class TestStatsAndMetrics:
+    def test_stats_payload_shape(self, store):
+        async def check(daemon):
+            await advise(daemon, query())
+            status, _, stats = await request_json(
+                "127.0.0.1", daemon.port, "GET", "/v1/stats", timeout=10
+            )
+            assert status == 200
+            assert stats["serving"]["requests"] == 1
+            assert stats["serving"]["cold_misses"] == 1
+            assert stats["max_inflight"] == 4
+            assert stats["inflight"] == 0
+            assert stats["retry_after_hint_s"] >= 1
+            assert stats["store_root"] == str(daemon.service.store.root)
+            assert stats["uptime_s"] >= 0
+
+        serve_test(check)
+
+    def test_shutdown_emits_validated_run_record(self, store, tmp_path):
+        from repro.telemetry.record import read_records, validate_record
+
+        metrics = tmp_path / "serve-runs.jsonl"
+
+        async def check(daemon):
+            await advise(daemon, query())
+            await advise(daemon, query())
+
+        serve_test(check, emit_metrics=str(metrics))
+        records = list(read_records(str(metrics)))
+        assert len(records) == 1
+        validate_record(records[0].as_dict())
+        assert records[0].run == "serve"
+        assert records[0].serving["requests"] == 2
+        assert records[0].serving["warm_hits"] == 1
+        assert records[0].serving["cold_misses"] == 1
+
+
+class TestCliValidation:
+    def test_out_of_range_port_exits_2(self, capsys):
+        assert serve_main(["--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_nonpositive_max_inflight_exits_2(self, capsys):
+        assert serve_main(["--max-inflight", "0"]) == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_nonpositive_heartbeat_exits_2(self, capsys):
+        assert serve_main(["--heartbeat", "-1"]) == 2
+        assert "--heartbeat" in capsys.readouterr().err
+
+    def test_missing_store_exits_2(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        assert serve_main(["--port", "0"]) == 2
+        assert "result store" in capsys.readouterr().err
+
+    def test_loadgen_validation_exits_2(self, capsys):
+        assert loadgen_main(["--port", "0"]) == 2
+        assert loadgen_main(["--concurrency", "0"]) == 2
+        capsys.readouterr()
+
+
+class TestLoadgen:
+    def test_percentiles_interpolate(self):
+        pct = percentiles([float(value) for value in range(1, 101)])
+        assert pct["p50"] == pytest.approx(50.5)
+        assert pct["p95"] == pytest.approx(95.05)
+        assert pct["p99"] == pytest.approx(99.01)
+        assert percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_check_coalescing_flags_failures(self):
+        bad = LoadReport(
+            classes={
+                "warm": ClassReport("warm", latencies_s=[0.1], served_from={"simulated": 1}),
+                "cold": ClassReport("cold"),
+                "duplicate": ClassReport(
+                    "duplicate",
+                    latencies_s=[0.1, 0.1],
+                    served_from={"simulated": 2},
+                ),
+            },
+            server_stats={"serving": {"coalesced": 0}},
+            elapsed_s=1.0,
+        )
+        failures = check_coalescing(bad)
+        assert len(failures) == 3  # warm source, simulation count, follower count
+
+    def test_loadgen_round_trip_coalesces(self, store):
+        async def check(daemon):
+            return await run_loadgen(
+                host="127.0.0.1",
+                port=daemon.port,
+                trace="linpack",
+                scale=SCALE,
+                seed=0,
+                structure="vc4",
+                warm_requests=4,
+                cold_requests=1,
+                duplicates=3,
+                concurrency=4,
+            )
+
+        report = serve_test(check)
+        assert check_coalescing(report) == []
+        warm = report.classes["warm"]
+        assert warm.served_from == {"store": 4}
+        duplicate = report.classes["duplicate"]
+        assert duplicate.served_from.get("simulated") == 1
