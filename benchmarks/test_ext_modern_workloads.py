@@ -1,0 +1,14 @@
+"""Benchmark: regenerate SS5 extension — victim cache & stream buffer on modern access classes."""
+
+from repro.experiments import ext_modern_workloads as experiment
+
+from conftest import run_experiment
+
+
+def test_ext_modern_workloads(benchmark, suite):
+    result = run_experiment(benchmark, experiment.run, suite)
+    # The stream buffer must keep its paper-shaped win on the
+    # sequential class (first row; removed% is column 4).
+    sequential = result.rows[0]
+    assert sequential[0] == "sequential"
+    assert sequential[4] > 90

@@ -1,0 +1,54 @@
+"""Microbenchmarks: trace-build throughput of the workload-spec layer.
+
+Not a paper artifact — these track the cost of *generating* reference
+streams from declarative workload specs (PR 8): the single-pattern
+classes and the multi-tenant mixer, which interleaves N sub-streams
+with Zipfian popularity and phase churn.  Trace generation sits on the
+cold path of every engine worker and every cold ``repro-serve`` query,
+so regressions here inflate end-to-end latency even though no
+simulation slowed down.
+"""
+
+from repro.specs import (
+    PointerChaseSpec,
+    SequentialSpec,
+    TenantMixSpec,
+    ZipfianSpec,
+)
+
+#: References per built trace: enough to amortize per-build setup
+#: (Zipf tables, node layouts), small enough for quick rounds.
+LENGTH = 30_000
+
+
+def build_trace(spec):
+    """One cold trace build: spec -> generated -> materialized buffers.
+
+    Bypasses the process memo on purpose — the memo would reduce every
+    round after the first to a dict hit.
+    """
+    return spec.build().materialize()
+
+
+def test_zipfian_trace_build(benchmark):
+    trace = benchmark(build_trace, ZipfianSpec(length=LENGTH))
+    assert len(trace) == LENGTH
+
+
+def test_pointer_chase_trace_build(benchmark):
+    trace = benchmark(build_trace, PointerChaseSpec(length=LENGTH))
+    assert len(trace) == LENGTH
+
+
+def test_tenant_mix_trace_build(benchmark):
+    spec = TenantMixSpec(
+        tenants=(
+            ZipfianSpec(length=LENGTH),
+            PointerChaseSpec(length=LENGTH),
+            SequentialSpec(length=LENGTH),
+        ),
+        length=LENGTH,
+        phase_length=LENGTH // 4,
+    )
+    trace = benchmark(build_trace, spec)
+    assert len(trace) == LENGTH

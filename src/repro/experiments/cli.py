@@ -8,9 +8,21 @@ Usage::
     repro-experiments --scale 30000      # smaller/larger traces
     repro-experiments --jobs 4           # fan experiments over 4 workers
     repro-experiments --jobs 4 --progress --emit-metrics runs.jsonl
+    repro-experiments --workload zipfian --workload tenant_mix
+    repro-experiments --workload '{"kind": "zipfian", "alpha": 1.1}'
+
+``--workload SPEC`` (repeatable) drives workload-aware experiments with
+declarative workload specs: inline kind-tagged JSON, a preset name
+(``zipfian``, ``hotspot``, ``bursty``, ``pointer_chase``,
+``sequential``, ``uniform``, ``tenant_mix``), or a registry benchmark
+name.  With no experiment ids it runs ``ext_modern_workloads``; naming
+an experiment that does not accept workloads exits with status 2.  The
+specs are embedded (replayably) in ``--emit-metrics`` run records.
 
 The scale flag (or the REPRO_SCALE environment variable) sets the
-instruction count per unit of Table 2-1 relative trace length.  The
+instruction count per unit of Table 2-1 relative trace length; a
+malformed or non-positive value — flag or environment — exits with
+status 2 instead of leaking a traceback.  The
 jobs flag (or REPRO_JOBS) sets the worker-process count; the default of
 1 runs everything serially in this process, and any higher count
 produces identical rendered output in whatever order the experiments
@@ -88,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="instructions per unit of relative trace length (default: registry default)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload generator seed")
+    parser.add_argument(
+        "--workload",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        help=(
+            "drive workload-aware experiments with this workload: inline "
+            "workload-spec JSON ('{\"kind\": \"zipfian\", ...}'), a preset "
+            "name (zipfian, hotspot, bursty, pointer_chase, sequential, "
+            "uniform, tenant_mix), or a registry benchmark name; repeatable "
+            "(default experiment: ext_modern_workloads)"
+        ),
+    )
     parser.add_argument(
         "--jobs",
         type=int,
@@ -194,10 +219,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         validate_retries,
     )
 
+    from ..specs import parse_workload
+    from .workloads import validate_scale
+
     try:
         job_timeout = validate_job_timeout(args.job_timeout)
         retries = validate_retries(args.retries)
         backend = None if args.backend is None else validate_backend(args.backend)
+        validate_scale(args.scale)
+        workload_specs = (
+            None
+            if args.workload is None
+            else [parse_workload(text) for text in args.workload]
+        )
     except ConfigurationError as exc:
         print(f"repro-experiments: {exc}", file=sys.stderr)
         return 2
@@ -230,12 +264,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         outcomes = run_checks(scale=args.scale, seed=args.seed)
         print(render_outcomes(outcomes))
         return 0 if all(o.passed for o in outcomes) else 1
-    selected = args.experiments or list(ALL_EXPERIMENTS)
+    if workload_specs is not None:
+        # Workload-driven runs default to the experiment built for them.
+        selected = args.experiments or ["ext_modern_workloads"]
+    else:
+        selected = args.experiments or list(ALL_EXPERIMENTS)
     unknown = [name for name in selected if name not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         print("use --list to see available ids", file=sys.stderr)
         return 2
+    if workload_specs is not None:
+        import inspect
+
+        incompatible = [
+            name
+            for name in selected
+            if "workloads" not in inspect.signature(ALL_EXPERIMENTS[name]).parameters
+        ]
+        if incompatible:
+            print(
+                "repro-experiments: --workload is not supported by: "
+                f"{', '.join(incompatible)} (these experiments replay the "
+                "paper's benchmark suite)",
+                file=sys.stderr,
+            )
+            return 2
     from .engine import run_experiments, validate_jobs
 
     try:
@@ -258,7 +312,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     emit = args.emit_metrics
     progress = _heartbeat_printer if args.progress else None
-    if jobs > 1:
+    if workload_specs is not None and jobs > 1:
+        # Workload-driven experiments fan out *internally* (their jobs
+        # carry full workload specs through run_jobs); propagate the
+        # worker count through the environment the engine resolves.
+        os.environ["REPRO_JOBS"] = str(jobs)
+    if jobs > 1 and workload_specs is None:
         # Fan out over the engine; outcomes come back in selection order
         # with per-experiment wall time measured inside the worker.  One
         # telemetry scope covers the whole batch: the simulations run in
@@ -277,22 +336,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             if scope is not None:
                 _emit_record(emit, scope, outcome.name, outcome.elapsed, jobs, args)
         return 0
-    # Materialize the shared suite once so per-experiment times are honest.
-    traces = suite(args.scale, args.seed)
+    # Materialize the shared suite once so per-experiment times are
+    # honest; workload-driven runs build their own traces instead.
+    traces = None if workload_specs is not None else suite(args.scale, args.seed)
     for name in selected:
         started = time.time()
         # One scope per experiment: serial runs report their simulation
         # counters into it, so each record is self-contained.
         scope = telemetry.activate() if emit else None
         try:
-            result = ALL_EXPERIMENTS[name](traces=traces, scale=args.scale, seed=args.seed)
+            kwargs = dict(traces=traces, scale=args.scale, seed=args.seed)
+            if workload_specs is not None:
+                kwargs["workloads"] = workload_specs
+            result = ALL_EXPERIMENTS[name](**kwargs)
         finally:
             if scope is not None:
                 telemetry.deactivate()
         elapsed = time.time() - started
         _print_result(name, result, elapsed, args.plot)
         if scope is not None:
-            _emit_record(emit, scope, name, elapsed, jobs, args)
+            _emit_record(emit, scope, name, elapsed, jobs, args, workloads=workload_specs)
     return 0
 
 
@@ -300,9 +363,12 @@ def _heartbeat_printer(update) -> None:
     print(f"[engine] {update}", file=sys.stderr, flush=True)
 
 
-def _emit_record(path: str, scope, name: str, elapsed: float, jobs: int, args) -> None:
+def _emit_record(
+    path: str, scope, name: str, elapsed: float, jobs: int, args, workloads=None
+) -> None:
     # Experiments span many traces, so the embedded spec is config-only
     # (trace=None): it still pins geometry/timing and hashes canonically.
+    # Explicit --workload specs are embedded in replayable form.
     record = build_run_record(
         scope,
         run=name,
@@ -312,6 +378,7 @@ def _emit_record(path: str, scope, name: str, elapsed: float, jobs: int, args) -
         scale=args.scale,
         seed=args.seed,
         spec=SystemSpec(trace=None, config=baseline_system()),
+        workloads=workloads,
     )
     append_record(path, record)
 

@@ -58,7 +58,14 @@ from ..buffers.base import L1Augmentation
 from ..common.errors import ConfigurationError
 from ..common.stats import percent, safe_div
 from ..kernels import NUMPY, PYTHON, select_backend
-from ..specs import SpecError, SystemSpec, TraceSpec, describe, parse_structure_code
+from ..specs import (
+    SpecError,
+    SystemSpec,
+    TraceSpec,
+    WorkloadSpec,
+    describe,
+    parse_structure_code,
+)
 from ..specs import build as build_spec
 from ..specs import spec_hash
 from ..specs import structure_code as _structure_code
@@ -463,7 +470,7 @@ class JobFailedError(RuntimeError):
         )
 
 
-def _warm_worker(trace_keys: Tuple[TraceSpec, ...]) -> None:
+def _warm_worker(trace_keys: Tuple[WorkloadSpec, ...]) -> None:
     """Worker initializer: materialize each distinct trace exactly once.
 
     Later jobs in this worker hit the process-level memoization in
@@ -485,7 +492,7 @@ def _shm_warm_worker(descriptors: Tuple) -> None:
     slow spawn-platform pool can be diagnosed.
     """
     from ..traces.packed import attach_shared_trace
-    from .workloads import seed_materialized_trace
+    from .workloads import seed_materialized_trace, seed_materialized_workload
 
     for descriptor in descriptors:
         try:
@@ -498,11 +505,16 @@ def _shm_warm_worker(descriptors: Tuple) -> None:
                 stacklevel=2,
             )
             continue
-        name, scale, seed = descriptor.memo_key
-        seed_materialized_trace(name, scale, seed, trace)
+        key = descriptor.memo_key
+        if isinstance(key, tuple):
+            # Legacy descriptor shape: (name, scale, seed).
+            name, scale, seed = key
+            seed_materialized_trace(name, scale, seed, trace)
+        else:
+            seed_materialized_workload(key, trace)
 
 
-def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
+def _pool_setup(trace_keys: Tuple[WorkloadSpec, ...]):
     """``(initializer, initargs, segments, degraded)`` for warming a pool.
 
     Fork-based platforms inherit the parent's materialized traces
@@ -531,9 +543,9 @@ def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
                 _warm_worker,
                 (trace_keys,),
                 [],
-                f"trace {key.name!r} is not packed; workers rebuild traces from generators",
+                f"trace {key.label!r} is not packed; workers rebuild traces from generators",
             )
-        entries.append(((key.name, key.scale, key.seed), trace))
+        entries.append((key, trace))
     try:
         descriptors, segments = share_packed_traces(entries)
     except Exception as exc:
@@ -546,12 +558,12 @@ def _pool_setup(trace_keys: Tuple[TraceSpec, ...]):
     return _shm_warm_worker, (tuple(descriptors),), segments, None
 
 
-def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[TraceSpec, ...]:
+def _distinct_trace_keys(jobs: Iterable[Job]) -> Tuple[WorkloadSpec, ...]:
     seen = {}
     for job in jobs:
         system = getattr(job, "system", None)
         key = system.trace if isinstance(system, SystemSpec) else None
-        if isinstance(key, TraceSpec):
+        if isinstance(key, WorkloadSpec):
             seen[key] = None
     return tuple(seen)
 
@@ -566,7 +578,7 @@ def _store_key(job: Job) -> Optional[ResultKey]:
     batches *inside* it hit the store individually.
     """
     system = getattr(job, "system", None)
-    if not isinstance(system, SystemSpec) or not isinstance(system.trace, TraceSpec):
+    if not isinstance(system, SystemSpec) or not isinstance(system.trace, WorkloadSpec):
         return None
     if isinstance(job, LevelJob):
         extras = {}

@@ -102,8 +102,9 @@ def _parallel_rows(
     """Grid rows via the engine, or None when the sweep is not job-able.
 
     Every grid point must be expressible as a picklable job: each trace
-    needs a registry rebuild recipe (:meth:`~repro.specs.TraceSpec.of`)
-    and each structure axis value must be declarative — a
+    needs a workload spec (:func:`~repro.specs.workload_spec_of` — any
+    spec-built trace qualifies, registry or pattern) and each structure
+    axis value must be declarative — a
     :class:`~repro.specs.StructureSpec`, or a factory whose product
     :func:`~repro.specs.describe` can turn into one.  Anything else —
     hand-built traces, structures holding live callables, unregistered
@@ -112,17 +113,19 @@ def _parallel_rows(
     :class:`~repro.telemetry.core.ParallelFallbackWarning` plus a
     ``fallback_reason`` entry on the active telemetry scope.
     """
-    from ..specs import SystemSpec, TraceSpec
+    from ..specs import SystemSpec, TraceSpec, unkeyed_reason
     from ..telemetry.core import record_fallback
     from .engine import LevelJob, run_jobs
 
     trace_keys = [TraceSpec.of(trace) for trace in traces]
     if any(key is None for key in trace_keys):
         if warn:
-            unkeyed = [trace.name for trace, key in zip(traces, trace_keys) if key is None]
+            reasons = [
+                unkeyed_reason(trace) for trace, key in zip(traces, trace_keys) if key is None
+            ]
             record_fallback(
                 "sweep_grid",
-                f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
+                f"trace(s) without a workload spec: {'; '.join(reasons)}",
                 stacklevel=4,
             )
         return None

@@ -200,12 +200,13 @@ def batch_entry_sweeps(
 
 def _note_fallback(component: str, traces, keys) -> None:
     """Warn + record that a parallel batch degraded to serial execution."""
+    from ..specs import unkeyed_reason
     from ..telemetry.core import record_fallback
 
-    unkeyed = [trace.name for trace in traces if keys[id(trace)] is None]
+    reasons = [unkeyed_reason(trace) for trace in traces if keys[id(trace)] is None]
     record_fallback(
         component,
-        f"trace(s) without a registry rebuild recipe: {', '.join(unkeyed)}",
+        f"trace(s) without a workload spec: {'; '.join(reasons)}",
         stacklevel=4,
     )
 

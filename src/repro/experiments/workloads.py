@@ -1,23 +1,28 @@
-"""Shared, cached benchmark suite for the experiment modules.
+"""Shared, cached trace materialization for the experiment modules.
 
-Building and materializing the six traces takes a couple of seconds, so
-all experiments share one process-level memoization keyed per
-``(name, scale, seed)`` trace: running "all experiments" (or a grid of
-engine jobs) builds each trace exactly once per process, no matter how
-many experiments or jobs replay it.  The engine's worker processes use
-the same cache, so each worker also materializes each trace at most once
-and reuses it across every job it executes.
+Building and materializing traces takes seconds, so all experiments
+share one process-level memoization keyed by *resolved workload spec*:
+running "all experiments" (or a grid of engine jobs) builds each trace
+exactly once per process, no matter how many experiments or jobs replay
+it.  The engine's worker processes use the same cache, so each worker
+also materializes each trace at most once and reuses it across every
+job it executes.  Any :class:`~repro.specs.workloads.WorkloadSpec` —
+registry benchmarks, parameterized patterns, tenant mixes — memoizes
+the same way; the historical ``(name, scale, seed)`` entry points
+remain as thin wrappers over :class:`NamedWorkloadSpec`.
 
-The scale can be overridden globally with the ``REPRO_SCALE``
+The registry scale can be overridden globally with the ``REPRO_SCALE``
 environment variable (instructions per unit of Table 2-1 relative
 length; the default keeps a full figure reproduction in the tens of
-seconds).
+seconds).  A malformed or non-positive ``REPRO_SCALE`` raises
+:class:`~repro.common.errors.ConfigurationError` — the CLI reports it
+with exit code 2 like ``REPRO_JOBS``.
 
 Sharing semantics: the cached :class:`MaterializedTrace` objects are
 immutable replay buffers, shared by reference between experiments in the
 same process (and, on fork-based platforms, inherited copy-on-write by
-engine workers).  A different ``(name, scale, seed)`` is a different
-cache entry, so changing scale or seed always rebuilds.
+engine workers).  A different resolved spec is a different cache entry,
+so changing scale, seed, or any pattern parameter always rebuilds.
 
 The memo is a bounded LRU: long heterogeneous sweeps (many scales or
 seeds per worker) evict the least recently used trace instead of growing
@@ -30,16 +35,21 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..traces.registry import BENCHMARK_NAMES, build_trace
+from ..common.errors import ConfigurationError
+from ..specs.workloads import NamedWorkloadSpec, WorkloadSpec
+from ..traces.registry import BENCHMARK_NAMES
 from ..traces.trace import MaterializedTrace
 
 __all__ = [
     "suite",
+    "materialized_workload",
+    "seed_materialized_workload",
     "materialized_trace",
     "seed_materialized_trace",
     "default_scale",
+    "validate_scale",
     "trace_cache_cap",
     "BENCHMARK_NAMES",
 ]
@@ -47,15 +57,42 @@ __all__ = [
 #: Default cap: the six benchmarks plus extension traces at one scale.
 DEFAULT_TRACE_CACHE_CAP = 8
 
-_TRACE_CACHE: "OrderedDict[Tuple[str, Optional[int], int], MaterializedTrace]" = OrderedDict()
+_TRACE_CACHE: "OrderedDict[WorkloadSpec, MaterializedTrace]" = OrderedDict()
 
 
 def default_scale() -> Optional[int]:
-    """Scale override from ``REPRO_SCALE`` (None = registry default)."""
+    """Scale override from ``REPRO_SCALE`` (None = registry default).
+
+    Raises :class:`ConfigurationError` for malformed or non-positive
+    values instead of leaking a ``ValueError`` traceback from deep
+    inside a run.
+    """
     raw = os.environ.get("REPRO_SCALE", "")
     if not raw:
         return None
-    return int(raw)
+    try:
+        scale = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_SCALE must be a positive integer, got {raw!r}"
+        ) from None
+    if scale < 1:
+        raise ConfigurationError(f"REPRO_SCALE must be positive, got {scale}")
+    return scale
+
+
+def validate_scale(value: Optional[int]) -> Optional[int]:
+    """Validated trace scale from ``--scale`` or ``REPRO_SCALE``.
+
+    ``None`` falls through to :func:`default_scale` (which itself
+    validates the environment); explicit non-positive values are
+    rejected so the CLI can exit with code 2 like ``--jobs``.
+    """
+    if value is None:
+        return default_scale()
+    if value < 1:
+        raise ConfigurationError(f"scale must be positive, got {value}")
+    return value
 
 
 def trace_cache_cap() -> int:
@@ -69,20 +106,16 @@ def trace_cache_cap() -> int:
         return DEFAULT_TRACE_CACHE_CAP
 
 
-def materialized_trace(
-    name: str, scale: Optional[int] = None, seed: int = 0
-) -> MaterializedTrace:
-    """One materialized benchmark trace, memoized per (name, scale, seed).
+def materialized_workload(spec: WorkloadSpec) -> MaterializedTrace:
+    """One materialized trace, memoized per resolved workload spec.
 
     The memo holds at most :func:`trace_cache_cap` traces, evicting the
     least recently used entry when a new trace would overflow it.
     """
-    if scale is None:
-        scale = default_scale()
-    key = (name, scale, seed)
+    key = spec.resolve()
     trace = _TRACE_CACHE.get(key)
     if trace is None:
-        trace = build_trace(name, scale, seed).materialize()
+        trace = key.build().materialize()
         cap = trace_cache_cap()
         while len(_TRACE_CACHE) >= cap:
             _TRACE_CACHE.popitem(last=False)
@@ -92,26 +125,36 @@ def materialized_trace(
     return trace
 
 
-def seed_materialized_trace(
-    name: str, scale: Optional[int], seed: int, trace: MaterializedTrace
-) -> None:
+def seed_materialized_workload(spec: WorkloadSpec, trace: MaterializedTrace) -> None:
     """Pre-seed the memo with an already-materialized trace.
 
     Used by engine worker initializers that receive packed trace buffers
     through shared memory: seeding the memo means later jobs in the
-    worker never replay the synthetic generator.  Uses the same key
-    resolution (``scale=None`` -> ambient default) as
-    :func:`materialized_trace`, and the same LRU bound.
+    worker never replay the generator.  Uses the same key resolution
+    (:meth:`WorkloadSpec.resolve`) and LRU bound as
+    :func:`materialized_workload`.
     """
-    if scale is None:
-        scale = default_scale()
-    key = (name, scale, seed)
+    key = spec.resolve()
     if key not in _TRACE_CACHE:
         cap = trace_cache_cap()
         while len(_TRACE_CACHE) >= cap:
             _TRACE_CACHE.popitem(last=False)
     _TRACE_CACHE[key] = trace
     _TRACE_CACHE.move_to_end(key)
+
+
+def materialized_trace(
+    name: str, scale: Optional[int] = None, seed: int = 0
+) -> MaterializedTrace:
+    """One materialized benchmark trace by registry name (compat wrapper)."""
+    return materialized_workload(NamedWorkloadSpec(name=name, scale=scale, seed=seed))
+
+
+def seed_materialized_trace(
+    name: str, scale: Optional[int], seed: int, trace: MaterializedTrace
+) -> None:
+    """Pre-seed the memo by registry name (compat wrapper)."""
+    seed_materialized_workload(NamedWorkloadSpec(name=name, scale=scale, seed=seed), trace)
 
 
 def suite(scale: Optional[int] = None, seed: int = 0) -> List[MaterializedTrace]:

@@ -42,7 +42,14 @@ from typing import AsyncIterator, Dict, List, Optional
 
 from ..common.config import baseline_system
 from ..common.errors import ConfigurationError, UnknownWorkloadError
-from ..specs import SpecError, SystemSpec, TraceSpec, parse_structure_code, spec_hash
+from ..specs import (
+    SpecError,
+    SystemSpec,
+    TraceSpec,
+    parse_structure_code,
+    spec_hash,
+    workload_from_dict,
+)
 from ..specs.structures import structure_from_dict
 from ..store import ResultStore, current_store
 from ..store.codec import encode_result
@@ -146,14 +153,18 @@ def parse_query(payload: object) -> AdviseQuery:
     Accepted shapes (everything but the trace is optional)::
 
         {"spec": {...full canonical SystemSpec dict...}}
-        {"trace": {"name": "ccom", "scale": 20000, "seed": 0},
+        {"trace": "ccom"
+                  | {"name": "ccom", "scale": 20000, "seed": 0}
+                  | {"kind": "zipfian", ...any workload-spec JSON...},
          "structure": "vc4" | {"kind": "victim_cache", ...} | null,
          "side": "d", "warmup": 0, "classify": false,
          "cache": {"size_bytes": 16384, "line_size": 32},
          "stream": false}
 
-    Malformed input raises :class:`BadRequestError` with a message safe
-    to echo to the client.
+    The trace accepts inline workload-spec JSON — any registered kind,
+    including the parameterized patterns and ``tenant_mix`` — alongside
+    the registry-name shorthand.  Malformed input raises
+    :class:`BadRequestError` with a message safe to echo to the client.
     """
     if not isinstance(payload, dict):
         raise BadRequestError("request body must be a JSON object")
@@ -169,11 +180,14 @@ def parse_query(payload: object) -> AdviseQuery:
         raise
     except (ConfigurationError, SpecError, KeyError, TypeError, ValueError) as exc:
         raise BadRequestError(f"invalid query: {exc}") from None
-    try:
-        get_workload(spec.trace.name)
-    except UnknownWorkloadError as exc:
-        # KeyError subclass: str() would wrap the message in repr quotes.
-        raise BadRequestError(exc.args[0] if exc.args else str(exc)) from None
+    if isinstance(spec.trace, TraceSpec):
+        # Registry references are validated up front so an unknown name
+        # is a 400, not a failed cold simulation.
+        try:
+            get_workload(spec.trace.name)
+        except UnknownWorkloadError as exc:
+            # KeyError subclass: str() would wrap the message in repr quotes.
+            raise BadRequestError(exc.args[0] if exc.args else str(exc)) from None
     return AdviseQuery(spec=spec, stream=stream)
 
 
@@ -181,11 +195,12 @@ def _spec_from_shorthand(payload: Dict) -> SystemSpec:
     trace_raw = payload.get("trace")
     if isinstance(trace_raw, str):
         trace_raw = {"name": trace_raw}
-    if not isinstance(trace_raw, dict) or "name" not in trace_raw:
+    if not isinstance(trace_raw, dict) or not ("name" in trace_raw or "kind" in trace_raw):
         raise BadRequestError(
-            'query needs a trace: {"trace": {"name": ..., "scale": ..., "seed": ...}}'
+            'query needs a trace: {"trace": {"name": ..., "scale": ..., "seed": ...}} '
+            'or inline workload-spec JSON ({"trace": {"kind": ...}})'
         )
-    trace = TraceSpec.from_dict(trace_raw)
+    trace = workload_from_dict(trace_raw)
     structure_raw = payload.get("structure")
     if structure_raw is None or isinstance(structure_raw, str):
         structure = parse_structure_code(structure_raw)
@@ -212,7 +227,7 @@ def _spec_from_shorthand(payload: Dict) -> SystemSpec:
         warmup=int(payload.get("warmup", 0)),
         classify=bool(payload.get("classify", False)),
     )
-    assert spec is not None  # TraceSpec input never returns None
+    assert spec is not None  # WorkloadSpec input never returns None
     return spec
 
 

@@ -2,11 +2,16 @@
 
 ``StructureSpec`` variants name every helper structure the paper
 studies (miss cache, victim cache, stream buffers, stride buffers,
-composites); ``TraceSpec`` names a registry trace; ``SystemSpec`` binds
-trace + :class:`~repro.common.config.SystemConfig` + structure into one
-value that fully determines a simulation point.  ``build``/``describe``
-give a lossless spec ⇄ live-object round trip, and canonical JSON makes
-specs the stable currency of the parallel engine and telemetry records.
+composites); ``WorkloadSpec`` variants name every reference stream —
+registry traces (``NamedWorkloadSpec``, the old ``TraceSpec``),
+parameterized access patterns (Zipfian, hotspot, bursty, pointer-chase,
+sequential, uniform-random), and the multi-tenant ``TenantMixSpec``
+mixer; ``SystemSpec`` binds workload +
+:class:`~repro.common.config.SystemConfig` + structure into one value
+that fully determines a simulation point.  ``build``/``describe`` give
+a lossless spec ⇄ live-object round trip, and canonical JSON makes
+specs the stable currency of the parallel engine, the result store, the
+serve daemon, and telemetry records.
 """
 
 from .structures import (
@@ -28,6 +33,25 @@ from .structures import (
     structure_from_dict,
 )
 from .system import SystemSpec, TraceSpec, spec_hash
+from .workloads import (
+    WORKLOAD_PRESETS,
+    BurstySpec,
+    HotspotSpec,
+    NamedWorkloadSpec,
+    PointerChaseSpec,
+    SequentialSpec,
+    TenantMixSpec,
+    UniformRandomSpec,
+    WorkloadSpec,
+    ZipfianSpec,
+    parse_workload,
+    register_workload,
+    registered_workload_kinds,
+    unkeyed_reason,
+    workload_from_dict,
+    workload_from_json,
+    workload_spec_of,
+)
 
 __all__ = [
     "SpecError",
@@ -46,6 +70,23 @@ __all__ = [
     "structure_from_dict",
     "parse_structure_code",
     "structure_code",
+    "WorkloadSpec",
+    "NamedWorkloadSpec",
+    "SequentialSpec",
+    "UniformRandomSpec",
+    "ZipfianSpec",
+    "HotspotSpec",
+    "BurstySpec",
+    "PointerChaseSpec",
+    "TenantMixSpec",
+    "register_workload",
+    "registered_workload_kinds",
+    "workload_from_dict",
+    "workload_from_json",
+    "workload_spec_of",
+    "unkeyed_reason",
+    "parse_workload",
+    "WORKLOAD_PRESETS",
     "TraceSpec",
     "SystemSpec",
     "spec_hash",

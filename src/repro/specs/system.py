@@ -1,13 +1,19 @@
-"""System-level specs: trace reference + system config + structure.
+"""System-level specs: workload reference + system config + structure.
 
-:class:`TraceSpec` names a registered workload trace by (name, scale,
-seed) — the same key the parallel engine uses to memoize materialized
-traces in worker processes.  :class:`SystemSpec` combines a trace
-reference, a :class:`~repro.common.config.SystemConfig`, and an optional
+A :class:`~repro.specs.workloads.WorkloadSpec` (named registry trace,
+parameterized pattern, or tenant mix) names the reference stream — the
+same key the parallel engine uses to memoize materialized traces in
+worker processes.  :class:`SystemSpec` combines a workload spec, a
+:class:`~repro.common.config.SystemConfig`, and an optional
 :class:`~repro.specs.structures.StructureSpec` into one frozen,
 picklable value that fully determines a simulation run.  Canonical JSON
 via :meth:`SystemSpec.to_json` is what telemetry hashes and embeds, so a
 run record carries everything needed to replay the run.
+
+``TraceSpec`` — the old name-keyed trace reference — is now an alias of
+:class:`~repro.specs.workloads.NamedWorkloadSpec`, field for field
+compatible (``(name, scale, seed)``), and its ``of`` classmethod now
+recovers *any* spec-built trace, not just registry ones.
 """
 
 from __future__ import annotations
@@ -20,72 +26,15 @@ from typing import Dict, Mapping, Optional
 from ..common.config import BASELINE_L2_LINE, CacheConfig, SystemConfig, baseline_system
 from ..common.errors import ConfigurationError
 from .structures import SpecError, StructureSpec, describe, structure_from_dict
+from .workloads import NamedWorkloadSpec, WorkloadSpec, workload_from_dict, workload_spec_of
 
 __all__ = ["TraceSpec", "SystemSpec", "spec_hash"]
 
 _SIDES = ("i", "d")
 
-
-@dataclass(frozen=True)
-class TraceSpec:
-    """Reference to a registry workload trace: (name, scale, seed).
-
-    ``scale=None`` means "the ambient default scale" — resolved by
-    :func:`repro.experiments.workloads.default_scale` at materialization
-    time, exactly like the engine's per-worker memo key.
-    """
-
-    name: str
-    scale: Optional[int] = None
-    seed: int = 0
-
-    @classmethod
-    def of(cls, trace) -> Optional["TraceSpec"]:
-        """TraceSpec for a materialized trace, or None if it is hand-made.
-
-        Only traces built through the workload registry can be renamed
-        by reference; ad-hoc traces (e.g. in unit tests) return None and
-        force callers onto the serial path.
-        """
-        meta = getattr(trace, "meta", None)
-        if meta is None or not getattr(meta, "scale", 0):
-            return None
-        from ..common.errors import UnknownWorkloadError
-        from ..traces.registry import get_workload
-
-        try:
-            get_workload(meta.name)
-        except UnknownWorkloadError:
-            return None
-        return cls(name=meta.name, scale=meta.scale, seed=getattr(meta, "seed", 0))
-
-    def trace(self):
-        """Materialize (memoized per process) the referenced trace."""
-        from ..experiments.workloads import materialized_trace
-
-        return materialized_trace(self.name, scale=self.scale, seed=self.seed)
-
-    def fingerprint(self) -> str:
-        """Content hash of the referenced trace's reference stream.
-
-        Materializes the trace (through the process memo) on first use;
-        the hash itself is cached on the materialized trace.  This is
-        the content half of the result store's key: the spec hash pins
-        the *reference*, the fingerprint pins what the reference
-        actually resolved to.
-        """
-        return self.trace().fingerprint()
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"name": self.name, "scale": self.scale, "seed": self.seed}
-
-    @classmethod
-    def from_dict(cls, payload: Mapping) -> "TraceSpec":
-        return cls(
-            name=payload["name"],
-            scale=payload.get("scale"),
-            seed=payload.get("seed", 0),
-        )
+#: Backward-compatible name: the registry-trace reference is now one
+#: kind ("named") in the workload-spec hierarchy.
+TraceSpec = NamedWorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -98,7 +47,7 @@ class SystemSpec:
     materialized into a run.
     """
 
-    trace: Optional[TraceSpec] = None
+    trace: Optional[WorkloadSpec] = None
     config: SystemConfig = field(default_factory=baseline_system)
     structure: Optional[StructureSpec] = None
     side: str = "d"
@@ -110,6 +59,10 @@ class SystemSpec:
             raise ConfigurationError(f"side must be one of {_SIDES}, got {self.side!r}")
         if self.warmup < 0:
             raise ConfigurationError("warmup must be non-negative")
+        if self.trace is not None and not isinstance(self.trace, WorkloadSpec):
+            raise SpecError(
+                f"trace must be a WorkloadSpec or None, got {type(self.trace).__name__}"
+            )
         if self.structure is not None and not isinstance(self.structure, StructureSpec):
             raise SpecError(
                 f"structure must be a StructureSpec or None, got {type(self.structure).__name__}"
@@ -132,13 +85,16 @@ class SystemSpec:
     ) -> Optional["SystemSpec"]:
         """Spec for a single-level replay, or None for an unkeyed trace.
 
-        ``structure`` may be a live structure (described on the spot) or
-        already a spec.  The L2 line size is widened to the L1 line when
-        the sweep's geometry exceeds the baseline L2 line — single-level
+        ``trace`` may be any :class:`WorkloadSpec` (named, pattern, or
+        mix), or a materialized trace whose spec is recovered via
+        :func:`~repro.specs.workloads.workload_spec_of`.  ``structure``
+        may be a live structure (described on the spot) or already a
+        spec.  The L2 line size is widened to the L1 line when the
+        sweep's geometry exceeds the baseline L2 line — single-level
         replays never touch the L2, so only the config invariant
         (L2 line >= L1 line) matters.
         """
-        trace_spec = trace if isinstance(trace, TraceSpec) else TraceSpec.of(trace)
+        trace_spec = trace if isinstance(trace, WorkloadSpec) else workload_spec_of(trace)
         if trace_spec is None:
             return None
         structure_spec = (
@@ -186,7 +142,7 @@ class SystemSpec:
         trace = payload.get("trace")
         structure = payload.get("structure")
         return cls(
-            trace=None if trace is None else TraceSpec.from_dict(trace),
+            trace=None if trace is None else workload_from_dict(trace),
             config=SystemConfig.from_dict(payload["config"]),
             structure=None if structure is None else structure_from_dict(structure),
             side=payload.get("side", "d"),

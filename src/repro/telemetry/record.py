@@ -100,6 +100,10 @@ _OPTIONAL_SCHEMA: Dict[str, tuple] = {
     # "warm_hits": int, "cold_misses": int, "coalesced": int,
     # "rejected": int, "failed": int, ...}; empty for non-serving runs.
     "serving": (dict,),
+    # Replayable workload specs the run was driven with: a list of
+    # kind-tagged dicts (repro.specs.workload_from_dict rebuilds each);
+    # absent/empty when the run used the implicit benchmark suite.
+    "workloads": (list,),
 }
 
 _MODES = ("serial", "parallel")
@@ -162,6 +166,9 @@ class RunRecord:
     backends: Dict[str, int] = field(default_factory=dict)
     #: Serving-layer request counters (empty for non-serving runs).
     serving: Dict[str, int] = field(default_factory=dict)
+    #: Replayable workload specs (kind-tagged dicts) the run was driven
+    #: with; empty when the run used the implicit benchmark suite.
+    workloads: list = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
 
     def as_dict(self) -> Dict[str, object]:
@@ -187,12 +194,16 @@ def build_run_record(
     seed: int = 0,
     trace: Optional[str] = None,
     spec=None,
+    workloads=None,
 ) -> RunRecord:
     """Fold a finished scope into a :class:`RunRecord`.
 
     When *spec* (a :class:`~repro.specs.SystemSpec`) is given, it is
     embedded in the record and the config hash is derived from its
-    canonical JSON, superseding *config*.
+    canonical JSON, superseding *config*.  *workloads* is an optional
+    sequence of :class:`~repro.specs.WorkloadSpec` (or their dicts)
+    naming the streams the run was driven with; each is embedded in
+    replayable kind-tagged dict form.
     """
     return RunRecord(
         run=run,
@@ -243,6 +254,9 @@ def build_run_record(
         ),
         backends=dict(scope.backend_jobs),
         serving=dict(scope.serving),
+        workloads=[
+            w.as_dict() if hasattr(w, "as_dict") else dict(w) for w in (workloads or ())
+        ],
     )
 
 
@@ -274,6 +288,9 @@ def validate_record(payload: Mapping) -> None:
         if key in payload and not isinstance(payload[key], types):
             expected = "/".join(t.__name__ for t in types)
             raise ValueError(f"run record field {key!r} must be {expected}, got {payload[key]!r}")
+    for entry in payload.get("workloads", ()):
+        if not isinstance(entry, dict):
+            raise ValueError(f"run record workloads entries must be objects, got {entry!r}")
     groups = ("l1i", "l1d", "l2", "level") + tuple(
         key for key in ("store", "resilience", "backends", "serving") if key in payload
     )

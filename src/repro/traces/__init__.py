@@ -11,6 +11,7 @@ from .io import (
 from .registry import (
     BENCHMARK_NAMES,
     DEFAULT_SCALE,
+    RegistryEntry,
     WorkloadSpec,
     build_suite,
     build_trace,
@@ -31,6 +32,7 @@ __all__ = [
     "trace_from_pairs",
     "BENCHMARK_NAMES",
     "DEFAULT_SCALE",
+    "RegistryEntry",
     "WorkloadSpec",
     "build_suite",
     "build_trace",

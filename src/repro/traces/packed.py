@@ -231,20 +231,19 @@ _ADDRESS_ITEMSIZE = array("q").itemsize
 class SharedTraceDescriptor:
     """Everything a worker needs to rebuild one trace from shared memory.
 
-    ``memo_key`` is the per-process trace-memo key ``(name, scale,
-    seed)`` the engine uses, carried alongside so the worker can seed
-    its memo without re-deriving it.
+    ``memo_key`` is the per-process trace-memo key the engine uses — a
+    :class:`~repro.specs.WorkloadSpec` (legacy descriptors carried a
+    ``(name, scale, seed)`` tuple) — carried alongside so the worker can
+    seed its memo without re-deriving it.
     """
 
     shm_name: str
     length: int
     meta: TraceMeta
-    memo_key: Tuple[str, Optional[int], int]
+    memo_key: object
 
 
-def share_packed_traces(
-    entries: Sequence[Tuple[Tuple[str, Optional[int], int], PackedTrace]],
-):
+def share_packed_traces(entries: Sequence[Tuple[object, PackedTrace]]):
     """Lay each packed trace out in one shared-memory segment.
 
     Returns ``(descriptors, segments)``; the caller owns the segments

@@ -14,6 +14,7 @@ paper's equal-weight percent reductions (see
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
@@ -22,6 +23,7 @@ from .trace import Trace
 from .synthetic import ccom, grr, linpack, liver, matcol, met, yacc
 
 __all__ = [
+    "RegistryEntry",
     "WorkloadSpec",
     "BENCHMARK_NAMES",
     "EXTENSION_NAMES",
@@ -39,7 +41,7 @@ DEFAULT_SCALE = 60_000
 
 
 @dataclass(frozen=True)
-class WorkloadSpec:
+class RegistryEntry:
     """One benchmark: identity, Table 2-1 metadata, and a builder."""
 
     name: str
@@ -56,10 +58,16 @@ class WorkloadSpec:
         return self.builder(scale, seed)
 
 
-_SPECS: Dict[str, WorkloadSpec] = {
+#: Historical name for :class:`RegistryEntry`.  ``repro.specs`` now owns
+#: the (declarative) ``WorkloadSpec`` base class; the registry entry kept
+#: its old name as an alias for backward compatibility.
+WorkloadSpec = RegistryEntry
+
+
+_SPECS: Dict[str, RegistryEntry] = {
     spec.name: spec
     for spec in [
-        WorkloadSpec(
+        RegistryEntry(
             name="ccom",
             program_type=ccom.PROGRAM_TYPE,
             builder=ccom.build,
@@ -67,7 +75,7 @@ _SPECS: Dict[str, WorkloadSpec] = {
             relative_length=1.0,
             description="C compiler front end",
         ),
-        WorkloadSpec(
+        RegistryEntry(
             name="grr",
             program_type=grr.PROGRAM_TYPE,
             builder=grr.build,
@@ -75,7 +83,7 @@ _SPECS: Dict[str, WorkloadSpec] = {
             relative_length=4.26,
             description="PC board CAD router",
         ),
-        WorkloadSpec(
+        RegistryEntry(
             name="yacc",
             program_type=yacc.PROGRAM_TYPE,
             builder=yacc.build,
@@ -83,7 +91,7 @@ _SPECS: Dict[str, WorkloadSpec] = {
             relative_length=1.62,
             description="Unix parser generator",
         ),
-        WorkloadSpec(
+        RegistryEntry(
             name="met",
             program_type=met.PROGRAM_TYPE,
             builder=met.build,
@@ -91,7 +99,7 @@ _SPECS: Dict[str, WorkloadSpec] = {
             relative_length=3.16,
             description="PC board CAD timing verifier",
         ),
-        WorkloadSpec(
+        RegistryEntry(
             name="linpack",
             program_type=linpack.PROGRAM_TYPE,
             builder=linpack.build,
@@ -99,7 +107,7 @@ _SPECS: Dict[str, WorkloadSpec] = {
             relative_length=4.60,
             description="100x100 LINPACK (saxpy)",
         ),
-        WorkloadSpec(
+        RegistryEntry(
             name="liver",
             program_type=liver.PROGRAM_TYPE,
             builder=liver.build,
@@ -111,10 +119,10 @@ _SPECS: Dict[str, WorkloadSpec] = {
 }
 
 #: Extension workloads (SS5 future work), not part of the paper's suite.
-_EXTENSION_SPECS: Dict[str, WorkloadSpec] = {
+_EXTENSION_SPECS: Dict[str, RegistryEntry] = {
     spec.name: spec
     for spec in [
-        WorkloadSpec(
+        RegistryEntry(
             name="matcol",
             program_type=matcol.PROGRAM_TYPE,
             builder=matcol.build,
@@ -133,7 +141,7 @@ BENCHMARK_NAMES: List[str] = ["ccom", "grr", "yacc", "met", "linpack", "liver"]
 EXTENSION_NAMES: List[str] = sorted(_EXTENSION_SPECS)
 
 
-def get_workload(name: str) -> WorkloadSpec:
+def get_workload(name: str) -> RegistryEntry:
     """Look up a benchmark by its Table 2-1 name."""
     try:
         return _SPECS[name]
@@ -142,7 +150,7 @@ def get_workload(name: str) -> WorkloadSpec:
         raise UnknownWorkloadError(f"unknown workload {name!r}; known: {known}") from None
 
 
-def list_workloads() -> List[WorkloadSpec]:
+def list_workloads() -> List[RegistryEntry]:
     """All benchmarks in the paper's presentation order."""
     return [_SPECS[name] for name in BENCHMARK_NAMES]
 
@@ -157,7 +165,14 @@ def build_trace(name: str, scale: Optional[int] = None, seed: int = 0) -> Trace:
     spec = get_workload(name)
     if scale is None:
         scale = int(DEFAULT_SCALE * spec.relative_length)
-    return spec.build(scale, seed)
+    trace = spec.build(scale, seed)
+    # Stamp spec provenance so any materialization of this trace — at any
+    # scale, including 0 — keys the engine memo and the result store.
+    from ..specs.workloads import NamedWorkloadSpec
+
+    source = NamedWorkloadSpec(name=name, scale=scale, seed=seed).to_json()
+    trace.meta = dataclasses.replace(trace.meta, source=source)
+    return trace
 
 
 def build_suite(

@@ -52,6 +52,10 @@ class TraceMeta:
     seed: int = 0
     #: Nominal instruction count the generator was asked for.
     scale: int = 0
+    #: Canonical workload-spec JSON this trace was built from ("" for
+    #: hand-made traces).  Lets :func:`repro.specs.workload_spec_of`
+    #: recover a rebuildable spec from any materialized trace.
+    source: str = ""
 
 
 @dataclass

@@ -42,3 +42,42 @@ class TestMain:
     def test_seed_changes_trace(self, capsys):
         assert main(["table_2_1", "--scale", "300", "--seed", "1"]) == 0
         assert "total" in capsys.readouterr().out
+
+
+class TestScaleValidation:
+    """``--scale``/``REPRO_SCALE`` problems exit 2 like ``--jobs``."""
+
+    def test_nonpositive_scale_exits_2(self, capsys):
+        assert main(["table_1_1", "--scale", "0"]) == 2
+        assert "scale must be positive" in capsys.readouterr().err
+
+    def test_malformed_env_scale_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "fast")
+        assert main(["table_1_1"]) == 2
+        assert "REPRO_SCALE" in capsys.readouterr().err
+
+
+class TestWorkloadFlag:
+    def test_workload_defaults_to_modern_workloads_experiment(self, capsys):
+        spec = '{"kind": "zipfian", "length": 400, "keys": 64}'
+        assert main(["--workload", spec]) == 0
+        out = capsys.readouterr().out
+        assert "ext_modern_workloads" in out
+        assert "zipfian" in out
+
+    def test_workload_preset_accepted(self, capsys):
+        assert main(["ext_modern_workloads", "--workload", "sequential",
+                     "--scale", "400"]) == 0
+        assert "sequential" in capsys.readouterr().out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["--workload", "definitely_not_a_workload"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_invalid_spec_json_exits_2(self, capsys):
+        assert main(["--workload", '{"kind": "quantum"}']) == 2
+        assert "unknown workload kind" in capsys.readouterr().err
+
+    def test_workload_with_unsupporting_experiment_exits_2(self, capsys):
+        assert main(["table_1_1", "--workload", "zipfian"]) == 2
+        assert "--workload is not supported by" in capsys.readouterr().err

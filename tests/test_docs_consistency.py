@@ -40,6 +40,7 @@ class TestBenchmarkHarnessComplete:
             "telemetry_overhead",
             "kernel_throughput",
             "serve_latency",
+            "workload_throughput",
         }
         stray = [
             path.stem.removeprefix("test_")

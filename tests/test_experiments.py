@@ -27,6 +27,7 @@ class TestAllExperiments:
             "overlap_5", "ext_l2_victim", "ext_bandwidth", "ext_associativity", "ext_inclusion", "ext_stride", "ext_multiprog",
             "ext_write_policy", "ext_timing_fidelity", "ext_marginal_utility",
             "ext_cold_start", "ext_penalty_sweep", "ext_prefetch_traffic", "ext_os", "ablations",
+            "ext_modern_workloads",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -34,7 +35,8 @@ class TestAllExperiments:
         {"table_1_1", "table_2_1", "table_2_2", "figure_5_1", "overlap_5",
          "ext_l2_victim", "ext_bandwidth", "ext_associativity", "ext_inclusion", "ext_stride", "ext_multiprog",
          "ext_write_policy", "ext_timing_fidelity", "ext_marginal_utility",
-         "ext_cold_start", "ext_penalty_sweep", "ext_prefetch_traffic", "ext_os", "ablations"}
+         "ext_cold_start", "ext_penalty_sweep", "ext_prefetch_traffic", "ext_os", "ablations",
+         "ext_modern_workloads"}
     ))
     def test_tables_are_tables(self, results, name):
         assert isinstance(results[name], TableResult)

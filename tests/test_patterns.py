@@ -235,3 +235,144 @@ class TestPhaseInterleaving:
         phases = [self._phase(0.0, instructions=10), self._phase(0.0, instructions=5)]
         out = list(run_phases(phases, random.Random(0)))
         assert len(out) == 15
+
+
+# -- building-block contracts --------------------------------------------------
+#
+# One factory per exported name (pinned against ``patterns.__all__``),
+# each producing a fresh stream from a caller-supplied rng, so the same
+# contracts — seed-determinism, address alignment, finiteness — can be
+# checked uniformly across every block.
+
+
+def _phase_pair(data_per_instr=0.5):
+    return Phase(
+        name="p",
+        instructions=60,
+        code=loop_code(0x0, 8),
+        data=stride_stream(0x9_0000, 1024, 8),
+        data_per_instr=data_per_instr,
+        store_fraction=0.5,
+    )
+
+
+CONTRACT_FACTORIES = {
+    "straight_code": lambda rng: straight_code(0x1000, 64),
+    "loop_code": lambda rng: loop_code(0x2000, 8),
+    "loop_calling_helper": lambda rng: loop_calling_helper(
+        0x3000, 0x4000, loop_instrs=6, helper_instrs=3
+    ),
+    "alternate_code": lambda rng: alternate_code(
+        rng, loop_code(0x0, 8), loop_code(0x8000, 8), 5, 5
+    ),
+    "ProcedureFabric": lambda rng: ProcedureFabric(
+        rng, num_procedures=8, code_span=32 * 1024
+    ),
+    "stride_stream": lambda rng: stride_stream(0x1_0000, 4096, 16),
+    "interleaved_streams": lambda rng: interleaved_streams(
+        [stride_stream(0x0, 256, 4), stride_stream(0x1000, 256, 4)]
+    ),
+    "string_compare": lambda rng: string_compare(0x2_0000, 0x3_0000, 128, element=4),
+    "conflicting_streams": lambda rng: conflicting_streams((0x0, 0x1_0000), 512, 8),
+    "random_working_set": lambda rng: random_working_set(rng, 0x4_0000, 4096, granule=8),
+    "pointer_chase": lambda rng: pointer_chase(
+        rng, 0x5_0000, num_nodes=32, node_size=64, fields_per_visit=2
+    ),
+    "stack_traffic": lambda rng: stack_traffic(
+        rng, 0x6_0000, frame_bytes=96, depth_frames=8, granule=4
+    ),
+    "bursty": lambda rng: bursty(
+        rng,
+        random_working_set(rng, 0x0, 1024, granule=8),
+        0x7_0000,
+        4096,
+        burst_prob=0.1,
+        burst_bytes=64,
+        stride=8,
+    ),
+    "mix": lambda rng: mix(
+        rng, [stride_stream(0x0, 256, 4), stride_stream(0x1000, 256, 4)], [0.5, 0.5]
+    ),
+    "Phase": lambda rng: run_phases([_phase_pair()], rng),
+    "run_phases": lambda rng: run_phases([_phase_pair(), _phase_pair(0.0)], rng),
+}
+
+#: Expected address alignment per block under the factory parameters.
+CONTRACT_ALIGNMENT = {
+    "straight_code": 4,
+    "loop_code": 4,
+    "loop_calling_helper": 4,
+    "alternate_code": 4,
+    "ProcedureFabric": 4,
+    "stride_stream": 16,
+    "interleaved_streams": 4,
+    "string_compare": 4,
+    "conflicting_streams": 8,
+    "random_working_set": 8,
+    "pointer_chase": 8,
+    "stack_traffic": 4,
+    "bursty": 8,
+    "mix": 4,
+    "Phase": 4,
+    "run_phases": 4,
+}
+
+#: Exact yields for the blocks contracted to terminate; everything else
+#: must keep producing indefinitely.
+CONTRACT_FINITE = {
+    "straight_code": 64,  # one address per instruction
+    "Phase": 60 + 30,  # instructions + data_per_instr * instructions
+    "run_phases": 90 + 60,  # both phases, concatenated
+}
+
+
+def _contract_addresses(items):
+    """Plain addresses from either address or (kind, address) streams."""
+    return [item[1] if isinstance(item, tuple) else item for item in items]
+
+
+class TestBuildingBlockContracts:
+    """Uniform contracts across every exported building block."""
+
+    def test_factories_cover_every_export(self):
+        from repro.traces import patterns
+
+        assert set(CONTRACT_FACTORIES) == set(patterns.__all__)
+        assert set(CONTRACT_ALIGNMENT) == set(patterns.__all__)
+
+    @pytest.mark.parametrize("name", sorted(CONTRACT_FACTORIES))
+    def test_same_seed_same_stream(self, name):
+        factory = CONTRACT_FACTORIES[name]
+        a = take(factory(random.Random(7)), 400)
+        b = take(factory(random.Random(7)), 400)
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(CONTRACT_FACTORIES))
+    def test_addresses_aligned(self, name):
+        out = take(CONTRACT_FACTORIES[name](random.Random(3)), 400)
+        modulus = CONTRACT_ALIGNMENT[name]
+        assert all(a % modulus == 0 for a in _contract_addresses(out))
+
+    @pytest.mark.parametrize("name", sorted(CONTRACT_FINITE))
+    def test_finite_blocks_terminate(self, name):
+        out = list(CONTRACT_FACTORIES[name](random.Random(1)))
+        assert len(out) == CONTRACT_FINITE[name]
+
+    @pytest.mark.parametrize(
+        "name", sorted(set(CONTRACT_FACTORIES) - set(CONTRACT_FINITE))
+    )
+    def test_infinite_blocks_keep_producing(self, name):
+        # 600 draws is past every natural period in the factory table
+        # (loops of 8, extents of a few hundred bytes, 32-node chains).
+        out = take(CONTRACT_FACTORIES[name](random.Random(2)), 600)
+        assert len(out) == 600
+
+    @pytest.mark.parametrize("name", ["Phase", "run_phases"])
+    def test_phase_streams_tag_access_kinds(self, name):
+        out = list(CONTRACT_FACTORIES[name](random.Random(4)))
+        kinds = {kind for kind, _ in out}
+        from repro.common.types import LOAD
+
+        assert kinds <= {int(IFETCH), int(LOAD), int(STORE)}
+        assert int(IFETCH) in kinds
+        assert kinds - {int(IFETCH)}, "phases must interleave data references"
