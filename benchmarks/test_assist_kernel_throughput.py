@@ -1,0 +1,139 @@
+"""Microbenchmarks: assist-structure kernels vs the reference interpreter.
+
+Not a paper artifact — these pin the speedup that justifies
+``repro.kernels.assist``: the same structure-carrying whole-trace level
+run through the per-reference interpreter (``run_level`` with a live
+helper structure) and through the two-pass kernels (direct-mapped
+miss-stream extraction, then a vectorized hit-condition pass or a
+compressed miss-stream replay).  Pairs share a naming scheme
+(``*_python`` / ``*_kernel``) so the ``repro-bench diff`` gate tracks
+both sides, on the same benchmark trace the PR 6 kernel pairs use.
+
+The last pair is figure-level: a Figure 3-5 style entry sweep priced as
+``MAX_ENTRIES`` independent interpreter runs versus the kernel's single
+reuse-distance rank pass, which yields every capacity at once.
+
+The equivalence of the two backends is pinned by ``tests/test_kernels.py``;
+here each kernel variant asserts its counters against the interpreter so
+a silently wrong kernel cannot post a fast time.
+"""
+
+import pytest
+
+from repro.buffers.victim_cache import VictimCache
+from repro.common.config import CacheConfig
+from repro.experiments.runner import run_level
+from repro.experiments.sweeps import victim_cache_sweep
+from repro.specs.structures import (
+    MissCacheSpec,
+    MultiWayStreamBufferSpec,
+    StreamBufferSpec,
+    VictimCacheSpec,
+    build,
+)
+pytest.importorskip("numpy")
+
+from repro.kernels.assist import entry_sweep, simulate_assist_level  # noqa: E402
+from repro.kernels.numpy_backend import stream_array  # noqa: E402
+
+CONFIG = CacheConfig(4096, 16)
+MAX_ENTRIES = 15
+
+VC4 = VictimCacheSpec(entries=4)
+MC4 = MissCacheSpec(entries=4)
+SB4 = StreamBufferSpec(entries=4)
+SB4X4 = MultiWayStreamBufferSpec(ways=4, entries=4)
+
+
+@pytest.fixture(scope="module")
+def mixed_trace(suite):
+    return suite[0]  # ccom, same trace and scale as the PR 6 kernel pairs
+
+
+@pytest.fixture(scope="module")
+def dstream(mixed_trace):
+    return mixed_trace.stream("d")
+
+
+@pytest.fixture(scope="module")
+def dstream_array(mixed_trace):
+    return stream_array(mixed_trace, "d")
+
+
+def _python(spec, dstream):
+    return run_level(dstream, CONFIG, augmentation=build(spec))
+
+
+def _pair(benchmark, spec, dstream, dstream_array):
+    reference = _python(spec, dstream).stats
+    run = benchmark.pedantic(
+        lambda: simulate_assist_level(dstream_array, CONFIG, spec),
+        rounds=3,
+        iterations=1,
+    )
+    assert run.stats.as_dict() == reference.as_dict()
+
+
+def test_victim_cache_level_python(benchmark, dstream):
+    run = benchmark.pedantic(lambda: _python(VC4, dstream), rounds=3, iterations=1)
+    assert run.stats.accesses == len(dstream)
+
+
+def test_victim_cache_level_kernel(benchmark, dstream, dstream_array):
+    _pair(benchmark, VC4, dstream, dstream_array)
+
+
+def test_miss_cache_level_python(benchmark, dstream):
+    run = benchmark.pedantic(lambda: _python(MC4, dstream), rounds=3, iterations=1)
+    assert run.stats.accesses == len(dstream)
+
+
+def test_miss_cache_level_kernel(benchmark, dstream, dstream_array):
+    _pair(benchmark, MC4, dstream, dstream_array)
+
+
+def test_stream_buffer_level_python(benchmark, dstream):
+    run = benchmark.pedantic(lambda: _python(SB4, dstream), rounds=3, iterations=1)
+    assert run.stats.accesses == len(dstream)
+
+
+def test_stream_buffer_level_kernel(benchmark, dstream, dstream_array):
+    # Single-way head-only: the vector (chain-scan) mode.
+    _pair(benchmark, SB4, dstream, dstream_array)
+
+
+def test_multiway_buffer_level_python(benchmark, dstream):
+    run = benchmark.pedantic(lambda: _python(SB4X4, dstream), rounds=3, iterations=1)
+    assert run.stats.accesses == len(dstream)
+
+
+def test_multiway_buffer_level_kernel(benchmark, dstream, dstream_array):
+    # Multi-way buffers have no vector form: the win here is replaying
+    # only the compressed miss stream instead of every reference.
+    _pair(benchmark, SB4X4, dstream, dstream_array)
+
+
+def test_victim_entry_sweep_per_capacity_python(benchmark, dstream):
+    """The naive sweep shape: one full interpreter run per capacity."""
+
+    def per_capacity():
+        return [
+            run_level(
+                dstream, CONFIG, augmentation=VictimCache(entries)
+            ).stats.removed_misses
+            for entries in range(1, MAX_ENTRIES + 1)
+        ]
+
+    hits = benchmark.pedantic(per_capacity, rounds=1, iterations=1)
+    assert len(hits) == MAX_ENTRIES
+
+
+def test_victim_entry_sweep_one_pass_kernel(benchmark, dstream, dstream_array):
+    reference = victim_cache_sweep(dstream, CONFIG, max_entries=MAX_ENTRIES)
+    sweep = benchmark.pedantic(
+        lambda: entry_sweep(dstream_array, CONFIG, "victim", MAX_ENTRIES),
+        rounds=3,
+        iterations=1,
+    )
+    assert sweep.hits_by_entries == reference.hits_by_entries
+    assert sweep.total_misses == reference.total_misses

@@ -57,7 +57,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..buffers.base import L1Augmentation
 from ..common.errors import ConfigurationError
 from ..common.stats import percent, safe_div
-from ..kernels import NUMPY, PYTHON, select_backend
+from ..kernels import MISS_REPLAY, NUMPY, PYTHON, kernel_mode, select_backend
 from ..specs import (
     SpecError,
     SystemSpec,
@@ -267,18 +267,59 @@ Job = Union[LevelJob, EntrySweepJob, RunSweepJob, ExperimentJob]
 # -- execution ----------------------------------------------------------------
 
 
+def _sweep_system(job: Union["EntrySweepJob", "RunSweepJob"]) -> SystemSpec:
+    """The spec point a sweep job is equivalent to, for backend dispatch.
+
+    An entry sweep is one run with a tracked-depth structure of capacity
+    ``max_entries + 1``; a run sweep is one run with an offset-tracking
+    (multi-way) stream buffer.  Routing backend selection through the
+    equivalent spec keeps ``REPRO_BACKEND`` semantics, availability
+    probing, and the vector/miss-replay mode table in one place
+    (:func:`repro.kernels.select_backend`).
+    """
+    from dataclasses import replace
+
+    from ..specs import (
+        MissCacheSpec,
+        MultiWayStreamBufferSpec,
+        StreamBufferSpec,
+        VictimCacheSpec,
+    )
+
+    if isinstance(job, EntrySweepJob):
+        spec_cls = {"miss": MissCacheSpec, "victim": VictimCacheSpec}.get(job.kind)
+        if spec_cls is None:
+            raise ConfigurationError(f"unknown entry-sweep kind {job.kind!r}")
+        structure = spec_cls(entries=job.max_entries + 1, track_depths=True)
+    elif job.ways == 1:
+        structure = StreamBufferSpec(entries=job.entries, track_run_offsets=True)
+    else:
+        structure = MultiWayStreamBufferSpec(
+            ways=job.ways, entries=job.entries, track_run_offsets=True
+        )
+    return replace(job.system, structure=structure)
+
+
 def execute_job(job: Job):
     """Run one job in the current process and return its picklable result.
 
-    ``LevelJob``s are backend-dispatched: structure-free specs run on the
-    vectorized numpy kernel when :func:`repro.kernels.select_backend`
-    picks it (spec qualifies, numpy importable, ``REPRO_BACKEND`` not
-    forcing ``python``); both backends return identical summaries, so
-    dispatch is invisible to callers and to the result store.
+    ``LevelJob``s are backend-dispatched: when
+    :func:`repro.kernels.select_backend` picks numpy (spec qualifies,
+    numpy importable, ``REPRO_BACKEND`` not forcing ``python``),
+    structure-free specs run the vectorized direct-mapped kernel and
+    structure-carrying specs run the assist kernel (vector or
+    miss-replay mode per :func:`repro.kernels.kernel_mode`); sweep jobs
+    dispatch through their equivalent tracked-structure spec.  All
+    backends return identical results, so dispatch is invisible to
+    callers and to the result store.
     """
     if isinstance(job, LevelJob):
         system = job.system
         if select_backend(system) == NUMPY:
+            if system.structure is not None:
+                from ..kernels.assist import simulate_assist_summary
+
+                return simulate_assist_summary(system)
             from ..kernels.numpy_backend import simulate_level_summary
 
             return simulate_level_summary(system)
@@ -301,13 +342,23 @@ def execute_job(job: Job):
         )
     if isinstance(job, EntrySweepJob):
         system = job.system
-        addresses = system.trace.trace().stream(system.side)
-        sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}.get(job.kind)
-        if sweep_fn is None:
+        if job.kind not in ("miss", "victim"):
             raise ConfigurationError(f"unknown entry-sweep kind {job.kind!r}")
+        if select_backend(_sweep_system(job)) == NUMPY:
+            from ..kernels.assist import entry_sweep_summary
+
+            return entry_sweep_summary(system, job.kind, job.max_entries)
+        addresses = system.trace.trace().stream(system.side)
+        sweep_fn = {"miss": miss_cache_sweep, "victim": victim_cache_sweep}[job.kind]
         return sweep_fn(addresses, system.cache_config, job.max_entries)
     if isinstance(job, RunSweepJob):
         system = job.system
+        if select_backend(_sweep_system(job)) == NUMPY:
+            from ..kernels.assist import run_length_sweep_summary
+
+            return run_length_sweep_summary(
+                system, job.ways, job.entries, job.max_run
+            )
         addresses = system.trace.trace().stream(system.side)
         return stream_buffer_run_sweep(
             addresses,
@@ -602,17 +653,27 @@ def _batch_kind(job_list: Sequence[Job]) -> str:
 
 
 def _job_backend(job: Job) -> Optional[str]:
-    """The kernel backend one job will execute on, or None when opaque.
+    """The backend label one job will execute on, or None when opaque.
 
-    Sweep jobs replay stateful helper structures, so they always run the
-    interpreter; experiment jobs are opaque here — their inner batches
-    dispatch (and count) per job themselves.
+    ``python`` and ``numpy`` as before; assist jobs that run the
+    interpreter structure over the compressed miss stream are labelled
+    ``miss-replay`` so heartbeats and run records show the split.
+    Experiment jobs are opaque here — their inner batches dispatch (and
+    count) per job themselves.
     """
     if isinstance(job, LevelJob):
-        return select_backend(job.system)
-    if isinstance(job, (EntrySweepJob, RunSweepJob)):
-        return PYTHON
-    return None
+        system = job.system
+    elif isinstance(job, (EntrySweepJob, RunSweepJob)):
+        try:
+            system = _sweep_system(job)
+        except ConfigurationError:
+            return PYTHON
+    else:
+        return None
+    backend = select_backend(system)
+    if backend == NUMPY and kernel_mode(system) == MISS_REPLAY:
+        return MISS_REPLAY
+    return backend
 
 
 def _backend_counts(job_list: Sequence[Job]) -> Dict[str, int]:

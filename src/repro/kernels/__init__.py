@@ -2,11 +2,27 @@
 
 The reference simulator walks traces one reference at a time through
 live cache objects — exact, fully general, and bounded by the Python
-interpreter.  This package adds a second implementation of the
-*structure-free* subset of that work: a numpy backend
-(:mod:`repro.kernels.numpy_backend`) that simulates a direct-mapped
-cache level — and the bare split-L1/L2 system — over an entire packed
-trace in vectorized array passes, including 3C miss classification.
+interpreter.  This package adds a second implementation of that work: a
+numpy backend (:mod:`repro.kernels.numpy_backend`) that simulates a
+direct-mapped cache level — and the bare split-L1/L2 system — over an
+entire packed trace in vectorized array passes, including 3C miss
+classification, and an assist-structure layer
+(:mod:`repro.kernels.assist`) that extends the same treatment to the
+paper's helper structures.  Because every structure is consulted only on
+an L1 miss and updated only on a refill, the direct-mapped pass first
+emits the *ordered miss stream* (positions, lines, victims) and the
+structure is then resolved over that much shorter stream, in one of two
+modes (:func:`kernel_mode`):
+
+* :data:`VECTOR` — the structure's hit condition closes over the miss
+  stream in array form: LRU miss/victim caches reduce to one
+  reuse-distance rank pass (which yields hits for *every* capacity at
+  once, collapsing entry sweeps to a single pass), and the single-way
+  sequential stream buffer reduces to a consecutive-chain scan.
+* :data:`MISS_REPLAY` — the live interpreter structure replays only the
+  compressed miss stream (multi-way buffers, stride prefetchers,
+  non-LRU policies, availability modelling, composites).
+
 Both backends produce **identical statistics**, pinned by the
 equivalence suite in ``tests/test_kernels.py``; which one runs is a pure
 performance decision.
@@ -20,19 +36,18 @@ inputs:
 * the **request** — ``REPRO_BACKEND`` (``auto`` | ``python`` | ``numpy``,
   default ``auto``) or the CLI's ``--backend`` flag, validated by
   :func:`validate_backend`;
-* the **spec** — only structure-free
-  :class:`~repro.specs.SystemSpec` points qualify
-  (:func:`disqualification` names the reason otherwise): helper
-  structures (miss/victim caches, stream buffers, stride prefetchers)
-  are stateful per-reference machines the array passes cannot express,
-  so they always run on the reference interpreter;
+* the **spec** — any :class:`~repro.specs.SystemSpec` whose structure is
+  a registered spec kind qualifies; :func:`disqualification` (all
+  reasons, ``"; "``-joined) and :func:`disqualifications` (one reason
+  per offending part) name what is left out: non-spec inputs and
+  unregistered structure types;
 * **availability** — numpy is an optional dependency (the ``fast``
   extra).  When it is missing the python backend runs instead; an
   explicit ``REPRO_BACKEND=numpy`` request additionally records a
   one-time :class:`KernelFallbackWarning` so the degradation is never
   silent.
 
-Selection **never raises for a non-qualifying spec** — a stateful
+Selection **never raises for a non-qualifying spec** — an undescribable
 structure under ``REPRO_BACKEND=numpy`` silently (and correctly) runs
 the interpreter, so one environment setting can cover a heterogeneous
 sweep.
@@ -42,7 +57,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..common.errors import ConfigurationError
 
@@ -51,13 +66,18 @@ __all__ = [
     "PYTHON",
     "NUMPY",
     "BACKENDS",
+    "VECTOR",
+    "MISS_REPLAY",
     "ENV_BACKEND",
     "KernelFallbackWarning",
     "numpy_available",
     "numpy_unavailable_reason",
     "validate_backend",
     "default_backend",
+    "structure_mode",
+    "kernel_mode",
     "disqualification",
+    "disqualifications",
     "qualifies",
     "select_backend",
 ]
@@ -66,6 +86,10 @@ AUTO = "auto"
 PYTHON = "python"
 NUMPY = "numpy"
 BACKENDS = (AUTO, PYTHON, NUMPY)
+
+#: Assist-structure execution modes on the numpy backend.
+VECTOR = "vector"
+MISS_REPLAY = "miss-replay"
 
 #: Environment knob mirrored by the CLI's ``--backend`` flag.
 ENV_BACKEND = "REPRO_BACKEND"
@@ -162,27 +186,116 @@ def default_backend() -> str:
 # -- spec qualification -------------------------------------------------------
 
 
-def disqualification(system) -> Optional[str]:
-    """Why a spec point cannot run vectorized, or None when it can.
+def structure_mode(spec) -> Optional[str]:
+    """Execution mode of one structure spec on the numpy backend.
 
-    The vectorized kernel expresses exactly what a bare
-    :class:`~repro.hierarchy.level.CacheLevel` does: a direct-mapped tag
-    array (any geometry, either side, any warm-up) with optional 3C
-    classification.  Helper structures keep per-reference state the
-    array passes cannot reproduce, so any ``structure`` disqualifies.
+    ``VECTOR`` when the structure's hit condition is expressible as
+    array passes over the miss stream, ``MISS_REPLAY`` when the live
+    interpreter structure must replay the (compressed) miss stream, and
+    ``None`` for ``spec`` values that are not registered structure
+    specs.  The vector conditions mirror
+    :mod:`repro.kernels.assist` exactly:
+
+    * miss cache — LRU replacement (the reuse-distance rank pass *is*
+      LRU stack depth);
+    * victim cache — LRU replacement with ``swap_on_hit`` (a hit must
+      invalidate, which is what keeps the finite cache a prefix of the
+      unbounded stack);
+    * stream buffer (single way) — head-only matching without
+      availability modelling or the allocation filter (the hit
+      condition then closes over consecutive-miss chains alone).
+    """
+    from ..specs.structures import StructureSpec
+
+    if spec is None:
+        return VECTOR
+    if not isinstance(spec, StructureSpec):
+        return None
+    kind = spec.kind
+    if kind == "miss_cache":
+        return VECTOR if spec.policy == "lru" else MISS_REPLAY
+    if kind == "victim_cache":
+        return VECTOR if spec.policy == "lru" and spec.swap_on_hit else MISS_REPLAY
+    if kind == "stream_buffer":
+        vector = (
+            spec.head_only
+            and not spec.model_availability
+            and not spec.allocation_filter
+        )
+        return VECTOR if vector else MISS_REPLAY
+    if kind == "composite":
+        if any(structure_mode(member) is None for member in spec.members):
+            return None
+        return MISS_REPLAY
+    if kind in (
+        "multi_way_stream_buffer",
+        "stride_buffer",
+        "multi_way_stride_buffer",
+    ):
+        return MISS_REPLAY
+    return None
+
+
+def disqualifications(system) -> Tuple[str, ...]:
+    """Every reason a spec point cannot run vectorized (empty when it can).
+
+    One entry per offending part — a composite with several
+    unsupported members names each of them — so the fallback warning
+    for a heterogeneous sweep is actionable in one read.
     """
     from ..specs import SystemSpec
+    from ..specs.structures import StructureSpec
 
     if not isinstance(system, SystemSpec):
-        return f"not a SystemSpec: {type(system).__name__}"
-    if system.structure is not None:
-        return f"stateful structure {system.structure.kind!r} needs the interpreter"
-    return None
+        return (f"not a SystemSpec: {type(system).__name__}",)
+    structure = system.structure
+    if structure is None:
+        return ()
+    reasons: List[str] = []
+    if not isinstance(structure, StructureSpec):
+        reasons.append(
+            f"structure is not a StructureSpec: {type(structure).__name__}"
+        )
+    elif structure.kind == "composite":
+        for member in structure.members:
+            if structure_mode(member) is None:
+                kind = getattr(member, "kind", type(member).__name__)
+                reasons.append(
+                    f"composite member {kind!r} has no kernel mode"
+                )
+    elif structure_mode(structure) is None:
+        reasons.append(f"structure kind {structure.kind!r} has no kernel mode")
+    return tuple(reasons)
+
+
+def disqualification(system) -> Optional[str]:
+    """All reasons a spec point cannot run vectorized (``"; "``-joined),
+    or None when it can."""
+    reasons = disqualifications(system)
+    return "; ".join(reasons) if reasons else None
 
 
 def qualifies(system) -> bool:
     """Whether :func:`select_backend` could ever pick numpy for *system*."""
-    return disqualification(system) is None
+    return not disqualifications(system)
+
+
+def kernel_mode(system) -> Optional[str]:
+    """How *system* would execute on the numpy backend, or None.
+
+    ``VECTOR`` for structure-free points and vectorizable structures,
+    ``MISS_REPLAY`` for structures that replay the compressed miss
+    stream, ``None`` when the point is disqualified outright.  This is
+    a property of the spec alone — combine with
+    :func:`select_backend` to learn what actually runs.
+    """
+    from ..specs import SystemSpec
+
+    if not isinstance(system, SystemSpec):
+        return None
+    if disqualifications(system):
+        return None
+    return structure_mode(system.structure)
 
 
 def select_backend(system, requested: Optional[str] = None) -> str:

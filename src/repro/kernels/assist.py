@@ -1,0 +1,463 @@
+"""Vectorized assist-structure kernels over the direct-mapped miss stream.
+
+The paper's helper structures all live behind the L1 cache: consulted
+only on a miss (``lookup_on_miss``), updated only on a refill
+(``on_l1_fill``), never told about hits.  Because the direct-mapped
+array is refilled on *every* miss, its state evolution — and therefore
+the ordered miss stream and the victim evicted by each refill — is
+completely independent of the structure (the property §3 of the paper
+relies on).  That splits any structure run into two passes:
+
+* **Pass 1** (:func:`extract_miss_stream`) — the existing vectorized
+  direct-mapped resolution, extended to emit the ordered miss stream:
+  trace positions, requested lines, and the line each refill evicted
+  (the previous reference to the same slot).
+* **Pass 2** — resolve the structure over that much shorter stream, in
+  one of two modes (:func:`repro.kernels.structure_mode`):
+
+  - ``vector``: the hit condition closes over the miss stream in array
+    form.  An LRU **miss cache** of capacity N hits iff fewer than N
+    distinct miss-lines occurred since the previous miss to the same
+    line — one reuse-distance rank pass, which yields the hit count for
+    *every* capacity at once (:func:`entry_sweep` runs the whole
+    Figure 3-3/3-5 sweep in a single pass).  An LRU **victim cache**
+    with swap-on-hit is the same stack-depth question over the
+    interleaved lookup/insert token stream (:func:`_victim_depths`),
+    using the exclusivity invariant (a line is never in both L1 and the
+    victim cache, at any capacity) and the fact that a hit-invalidation
+    keeps the finite cache a prefix of the unbounded LRU stack.  A
+    single-way head-only **stream buffer** hits exactly on consecutive
+    miss-line chains, with ``max_run`` cutting each chain into
+    ``max_run + 1``-long segments (:func:`_stream_buffer_hits`).
+  - ``miss-replay``: the live interpreter structure replays the
+    compressed miss stream (:func:`_replay_structure`) with ``now`` set
+    to the original trace position, so availability modelling, LRU way
+    rotation, stride detection and composites stay bit-exact while
+    paying Python dispatch only per *miss*, not per reference.
+
+Warm-up follows the interpreter exactly: structure and cache state are
+warmed over the full stream; counters only accumulate inside the
+measurement window.  Equivalence — every
+:class:`~repro.hierarchy.level.LevelStats` counter, every sweep bucket —
+is pinned by ``tests/test_kernels.py`` across randomized streams, all
+named traces, and the pattern workload specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..common.config import CacheConfig
+from ..common.types import AccessOutcome
+from ..hierarchy.level import LevelStats
+from ..telemetry.core import current as _telemetry_scope
+from . import MISS_REPLAY, VECTOR, structure_mode
+from .numpy_backend import (
+    _INT64,
+    _effective_warmup,
+    _index_dtype,
+    _rank_left_leq,
+    classify_misses,
+    direct_mapped_hit_mask,
+    prev_occurrence,
+    stream_array,
+    KernelLevelResult,
+)
+
+__all__ = [
+    "MissStream",
+    "extract_miss_stream",
+    "simulate_assist_level",
+    "simulate_assist_summary",
+    "entry_sweep",
+    "entry_sweep_summary",
+    "run_length_sweep",
+    "run_length_sweep_summary",
+]
+
+
+# -- pass 1: the ordered miss stream ------------------------------------------
+
+
+@dataclass
+class MissStream:
+    """Everything pass 2 needs about one direct-mapped replay."""
+
+    #: Full-stream line addresses (len == trace length).
+    lines: np.ndarray
+    #: Full-stream direct-mapped hit mask.
+    hits: np.ndarray
+    #: Trace positions of the misses, ascending.
+    positions: np.ndarray
+    #: Requested line per miss.
+    miss_lines: np.ndarray
+    #: Line evicted by each refill; ``-1`` when the slot was cold.
+    victims: np.ndarray
+
+
+def extract_miss_stream(lines: np.ndarray, num_lines: int) -> MissStream:
+    """Resolve a direct-mapped level and emit its ordered miss stream.
+
+    The victim of a refill is the previous reference to the same slot
+    (hit or miss — the slot always holds the last line referenced
+    through it), which falls out of the same stable argsort-by-slot the
+    hit mask uses.  On a miss the previous occupant necessarily differs
+    from the requested line, so it is always a genuine eviction.
+    """
+    n = len(lines)
+    hits = direct_mapped_hit_mask(lines, num_lines)
+    resident_before = np.full(n, -1, dtype=_INT64)
+    if n:
+        index = (lines & (num_lines - 1)).astype(_index_dtype(num_lines), copy=False)
+        order = np.argsort(index, kind="stable")
+        same = index[order][1:] == index[order][:-1]
+        resident_before[order[1:][same]] = lines[order[:-1][same]]
+    positions = np.nonzero(~hits)[0].astype(_INT64, copy=False)
+    return MissStream(
+        lines=lines,
+        hits=hits,
+        positions=positions,
+        miss_lines=lines[positions],
+        victims=resident_before[positions],
+    )
+
+
+# -- pass 2, vector mode ------------------------------------------------------
+
+
+def _lru_depths(stream: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Unbounded LRU stack depth of each revisit in *stream*.
+
+    Returns ``(seen, depth)``: ``seen`` marks revisits, ``depth`` (valid
+    only there) is the number of distinct values since the previous
+    occurrence — exactly the 0-based depth an access-then-fill LRU cache
+    of unbounded capacity would report, so a capacity-N cache hits iff
+    ``depth < N``.
+    """
+    prev = prev_occurrence(stream)
+    seen = prev >= 0
+    queries = np.nonzero(seen)[0].astype(_INT64, copy=False)
+    depth = _rank_left_leq(prev + 1, queries) - (prev + 1)
+    return seen, depth
+
+
+def _victim_depths(
+    miss_lines: np.ndarray, victims: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Unbounded victim-cache lookup outcomes over the miss stream.
+
+    Models the LRU, swap-on-hit victim cache as a token stream: each
+    miss emits a *lookup* token for the requested line, then (when the
+    refill evicted something) an *insert* token for the victim.  In the
+    unbounded cache a lookup hits iff its line's most recent token is an
+    insert — inserts make a line resident, a hit invalidates it (the
+    swap), and a missed lookup changes nothing.  Exclusivity (the victim
+    of a refill was resident in L1, never in the victim cache) makes
+    every insert a fresh push onto the LRU stack, and because a finite
+    cache of capacity N always holds exactly the top N of the unbounded
+    stack, a lookup hits at capacity N iff its unbounded depth is below
+    N.
+
+    The depth of a hit at token ``u`` whose line was pushed at token
+    ``p`` counts the still-resident lines pushed after ``p``:
+    ``inserts_in(p, u)`` minus the hit-lookups in ``(p, u)`` that
+    invalidated one of those pushes (hits whose matched insert sits
+    after ``p`` — a per-query threshold rank count).
+
+    Returns ``(hit, depth)`` per miss; ``depth`` is valid only at hits.
+    """
+    m = len(miss_lines)
+    hit = np.zeros(m, dtype=bool)
+    depth = np.zeros(m, dtype=_INT64)
+    if not m:
+        return hit, depth
+    has_victim = victims >= 0
+    inserts = int(np.count_nonzero(has_victim))
+    # Token layout: lookup_j at j + (#inserts before j), its insert (if
+    # any) immediately after.
+    before = np.cumsum(has_victim) - has_victim
+    lookup_pos = np.arange(m, dtype=_INT64) + before
+    insert_pos = lookup_pos[has_victim] + 1
+    total = m + inserts
+    token_line = np.empty(total, dtype=_INT64)
+    token_line[lookup_pos] = miss_lines
+    token_line[insert_pos] = victims[has_victim]
+    is_insert = np.zeros(total, dtype=bool)
+    is_insert[insert_pos] = True
+
+    prev = prev_occurrence(token_line)
+    prev_of_lookup = prev[lookup_pos]
+    hit = (prev_of_lookup >= 0) & is_insert[np.maximum(prev_of_lookup, 0)]
+    hit_tokens = lookup_pos[hit]
+    if not len(hit_tokens):
+        return hit, depth
+    matched = prev_of_lookup[hit]  # the insert that pushed each hit line
+
+    inserts_before = np.cumsum(is_insert) - is_insert  # exclusive prefix
+    pushed_after = inserts_before[hit_tokens] - inserts_before[matched] - 1
+    # Hits before u whose matched insert also precedes u's own push p:
+    # those invalidated lines deeper than u's line and don't reduce its
+    # depth.  values[h] = matched insert of hit h, off-scale elsewhere.
+    hit_mask = np.zeros(total, dtype=bool)
+    hit_mask[hit_tokens] = True
+    hits_before = np.cumsum(hit_mask) - hit_mask  # exclusive prefix
+    values = np.full(total, total, dtype=_INT64)
+    values[hit_tokens] = matched
+    thresholds = np.zeros(total, dtype=_INT64)
+    thresholds[hit_tokens] = matched
+    dominated = _rank_left_leq(values, queries=hit_tokens, thresholds=thresholds)
+    invalidated_above = hits_before[hit_tokens] - dominated[hit_tokens]
+    depth[hit] = pushed_after - invalidated_above
+    return hit, depth
+
+
+def _stream_buffer_hits(
+    miss_lines: np.ndarray, max_run: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-way head-only sequential stream buffer over the miss stream.
+
+    The buffer holds the next lines after the last allocation, head-only
+    matching means a miss hits iff it equals the head, and every
+    non-matching miss reallocates — so a miss hits iff it extends a
+    consecutive chain of miss lines, and its run offset is its distance
+    ``c`` from the chain anchor.  Buffer *entries* never change the hit
+    behaviour (each hit pops the head and tops the queue back up).  A
+    finite ``max_run`` only prefetches ``max_run`` lines per allocation:
+    position ``c`` in a chain hits iff ``c mod (max_run + 1) != 0`` —
+    every multiple of ``max_run + 1`` finds the queue exhausted and
+    becomes a fresh anchor.
+
+    Returns ``(hit, offset)`` per miss; ``offset`` is valid at hits.
+    """
+    m = len(miss_lines)
+    step = np.zeros(m, dtype=bool)
+    if m > 1:
+        step[1:] = miss_lines[1:] == miss_lines[:-1] + 1
+    idx = np.arange(m, dtype=_INT64)
+    anchor = np.maximum.accumulate(np.where(step, -1, idx))
+    offset = idx - anchor
+    if max_run is None:
+        return step, offset
+    offset = offset % (max_run + 1)
+    return step & (offset != 0), offset
+
+
+# -- pass 2, miss-replay mode -------------------------------------------------
+
+
+def _replay_structure(
+    structure, miss_stream: MissStream, start: int
+) -> Tuple[LevelStats, np.ndarray]:
+    """Drive a live interpreter structure over the compressed miss stream.
+
+    Calls ``lookup_on_miss`` then ``on_l1_fill`` per miss, in the exact
+    order :meth:`~repro.hierarchy.level.CacheLevel.access_line` would,
+    with ``now`` set to the original trace position so availability
+    modelling (``ready_time`` arithmetic) is preserved.  Counters only
+    accumulate at positions inside the measurement window.  Returns the
+    structure-attributable stats fields plus the per-miss removed mask
+    (for callers that need the sweep histograms kept by the structure).
+    """
+    lookup = structure.lookup_on_miss
+    fill = structure.on_l1_fill
+    victim_hit = AccessOutcome.VICTIM_HIT
+    stream_hit = AccessOutcome.STREAM_HIT
+    stats = LevelStats()
+    removed = np.zeros(len(miss_stream.positions), dtype=bool)
+    for i, (now, line, victim) in enumerate(
+        zip(
+            miss_stream.positions.tolist(),
+            miss_stream.miss_lines.tolist(),
+            miss_stream.victims.tolist(),
+        )
+    ):
+        result = lookup(line, now)
+        fill(line, victim if victim >= 0 else None, now)
+        if now < start:
+            continue
+        if result.stall_cycles:
+            stats.stream_stall_cycles += result.stall_cycles
+        if result.satisfied:
+            removed[i] = True
+            outcome = result.outcome
+            if outcome is victim_hit:
+                stats.victim_hits += 1
+            elif outcome is stream_hit:
+                stats.stream_hits += 1
+            else:
+                stats.miss_cache_hits += 1
+    return stats, removed
+
+
+# -- whole-run kernels --------------------------------------------------------
+
+
+def simulate_assist_level(
+    byte_addresses,
+    config: CacheConfig,
+    structure_spec,
+    classify: bool = False,
+    warmup: int = 0,
+) -> KernelLevelResult:
+    """Vectorized ``run_level`` for a level with a helper structure.
+
+    ``structure_spec`` must have a kernel mode
+    (:func:`repro.kernels.structure_mode` not None); dispatch through
+    :func:`repro.kernels.select_backend` guarantees this.
+    """
+    from ..specs.structures import build
+
+    addresses = np.asarray(byte_addresses, dtype=_INT64)
+    lines = addresses >> config.offset_bits
+    ms = extract_miss_stream(lines, config.num_lines)
+    n = len(lines)
+    start = _effective_warmup(warmup, n)
+
+    mode = structure_mode(structure_spec)
+    if mode == VECTOR:
+        kind = structure_spec.kind
+        counted = ms.positions >= start
+        stats = LevelStats()
+        if kind == "miss_cache":
+            seen, depth = _lru_depths(ms.miss_lines)
+            removed = seen & (depth < structure_spec.entries)
+            stats.miss_cache_hits = int(np.count_nonzero(removed & counted))
+        elif kind == "victim_cache":
+            vc_hit, depth = _victim_depths(ms.miss_lines, ms.victims)
+            removed = vc_hit & (depth < structure_spec.entries)
+            stats.victim_hits = int(np.count_nonzero(removed & counted))
+        else:  # stream_buffer
+            sb_hit, _ = _stream_buffer_hits(ms.miss_lines, structure_spec.max_run)
+            stats.stream_hits = int(np.count_nonzero(sb_hit & counted))
+    elif mode == MISS_REPLAY:
+        stats, _ = _replay_structure(build(structure_spec), ms, start)
+    else:
+        raise ValueError(
+            f"structure spec has no kernel mode: {structure_spec!r}"
+        )
+
+    stats.accesses = n - start
+    stats.hits = int(np.count_nonzero(ms.hits[start:]))
+    demand = stats.accesses - stats.hits
+    stats.misses_to_next_level = demand - stats.removed_misses
+    classification = (
+        classify_misses(lines, ms.hits, config.num_lines, warmup) if classify else None
+    )
+    return KernelLevelResult(stats, classification)
+
+
+def simulate_assist_summary(system):
+    """Execute one structure-carrying :class:`LevelJob` spec point vectorized.
+
+    Mirrors :func:`repro.kernels.numpy_backend.simulate_level_summary`:
+    same :class:`~repro.experiments.engine.LevelSummary` counters, same
+    telemetry observation.
+    """
+    from ..experiments.engine import LevelSummary
+
+    scope = _telemetry_scope()
+    started = perf_counter() if scope is not None else 0.0
+    addresses = stream_array(system.trace.trace(), system.side)
+    run = simulate_assist_level(
+        addresses,
+        system.cache_config,
+        system.structure,
+        classify=system.classify,
+        warmup=system.warmup,
+    )
+    if scope is not None:
+        scope.observe_level_run(run.stats, perf_counter() - started)
+    return LevelSummary(
+        accesses=run.stats.accesses,
+        demand_misses=run.stats.demand_misses,
+        removed_misses=run.stats.removed_misses,
+        misses_to_next_level=run.stats.misses_to_next_level,
+        stream_stall_cycles=run.stats.stream_stall_cycles,
+        conflict_misses=run.conflicts if system.classify else None,
+    )
+
+
+# -- one-pass sweeps ----------------------------------------------------------
+
+
+def _count_at_most(depths: np.ndarray, limit: int) -> List[int]:
+    """``out[k] = #{d in depths : d <= k - 1}`` for ``k`` in 0..limit.
+
+    One clipped bincount + cumsum instead of ``limit`` comparisons.
+    """
+    if not len(depths):
+        return [0] * (limit + 1)
+    clipped = np.minimum(depths, limit)
+    cumulative = np.cumsum(np.bincount(clipped, minlength=limit + 1))
+    return [0] + [int(cumulative[k - 1]) for k in range(1, limit + 1)]
+
+
+def entry_sweep(byte_addresses, config: CacheConfig, kind: str, max_entries: int):
+    """One-pass miss/victim-cache entry sweep (Figures 3-3/3-5).
+
+    Equivalent to ``max_entries`` independent capacity runs — or the
+    interpreter's tracked-depth single run — but the reuse-distance rank
+    pass prices every capacity at once: ``hits_by_entries[k]`` is the
+    number of lookups whose unbounded LRU depth is below ``k``.
+    """
+    from ..experiments.sweeps import EntrySweep
+
+    addresses = np.asarray(byte_addresses, dtype=_INT64)
+    lines = addresses >> config.offset_bits
+    ms = extract_miss_stream(lines, config.num_lines)
+    if kind == "miss":
+        seen, depth = _lru_depths(ms.miss_lines)
+        depths = depth[seen]
+    else:  # victim
+        vc_hit, depth = _victim_depths(ms.miss_lines, ms.victims)
+        depths = depth[vc_hit]
+    classification = classify_misses(lines, ms.hits, config.num_lines)
+    return EntrySweep(
+        total_misses=len(ms.positions),
+        conflict_misses=int(classification["conflict"]),
+        hits_by_entries=_count_at_most(depths, max_entries),
+    )
+
+
+def entry_sweep_summary(system, kind: str, max_entries: int):
+    """Vectorized :class:`~repro.experiments.engine.EntrySweepJob` body."""
+    addresses = stream_array(system.trace.trace(), system.side)
+    return entry_sweep(addresses, system.cache_config, kind, max_entries)
+
+
+def run_length_sweep(
+    byte_addresses, config: CacheConfig, ways: int, entries: int, max_run: int
+):
+    """Stream-buffer run-length sweep (Figure 4-4 style).
+
+    Single-way buffers vectorize (run offsets are chain positions);
+    multi-way buffers replay the miss stream through the live structure
+    and read its run-offset histogram.
+    """
+    from ..buffers.stream_buffer import MultiWayStreamBuffer
+    from ..experiments.sweeps import RunLengthSweep
+
+    addresses = np.asarray(byte_addresses, dtype=_INT64)
+    lines = addresses >> config.offset_bits
+    ms = extract_miss_stream(lines, config.num_lines)
+    if ways == 1:
+        sb_hit, offset = _stream_buffer_hits(ms.miss_lines, None)
+        removed = _count_at_most(offset[sb_hit] - 1, max_run)
+    else:
+        buffer = MultiWayStreamBuffer(
+            ways=ways, entries=entries, track_run_offsets=True
+        )
+        _replay_structure(buffer, ms, 0)
+        offsets = buffer.run_offsets
+        removed = [offsets.count_at_most(k) for k in range(max_run + 1)]
+    return RunLengthSweep(total_misses=len(ms.positions), removed_by_run=removed)
+
+
+def run_length_sweep_summary(system, ways: int, entries: int, max_run: int):
+    """Vectorized :class:`~repro.experiments.engine.RunSweepJob` body."""
+    addresses = stream_array(system.trace.trace(), system.side)
+    return run_length_sweep(addresses, system.cache_config, ways, entries, max_run)

@@ -166,9 +166,17 @@ def prev_occurrence(lines: np.ndarray) -> np.ndarray:
 
 
 def _rank_left_leq(
-    values: np.ndarray, queries: Optional[np.ndarray] = None
+    values: np.ndarray,
+    queries: Optional[np.ndarray] = None,
+    thresholds: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """``rank[i] = #{j < i : values[j] <= values[i]}`` for non-negative ints.
+    """``rank[i] = #{j < i : values[j] <= thresholds[i]}`` for non-negative ints.
+
+    *thresholds* defaults to *values* itself, giving the classic
+    ``values[j] <= values[i]`` self-rank; the assist kernels pass a
+    separate per-query threshold array (any entries in ``[-1,
+    values.max()]``) to count dominating positions against a different
+    cut per query.
 
     Every pair ``j < i`` falls in exactly one level of a merge tree where
     ``j`` sits in the left half and ``i`` in the right half of the same
@@ -196,6 +204,7 @@ def _rank_left_leq(
     offset = sentinel + 1
     padded = np.full(size, sentinel, dtype=_INT64)
     padded[:n] = values
+    cuts = padded if thresholds is None else np.asarray(thresholds, dtype=_INT64)
     block_sorted = padded.copy()
     positions = np.arange(size, dtype=_INT64)
     shift = 0  # width == 1 << shift
@@ -212,7 +221,7 @@ def _rank_left_leq(
             augmented = block_sorted + ((positions >> shift) * offset)
             rank[at_level] += (
                 np.searchsorted(
-                    augmented, padded[at_level] + (pair_of << 1) * offset, side="right"
+                    augmented, cuts[at_level] + (pair_of << 1) * offset, side="right"
                 )
                 - pair_of * (2 * width)
             )

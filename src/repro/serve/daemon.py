@@ -61,6 +61,9 @@ class ServeConfig:
     jobs: int = 1
     #: Seconds between streamed heartbeats.
     heartbeat: float = 1.0
+    #: Seconds an idle keep-alive connection may sit between requests
+    #: before the server closes it.
+    keepalive_timeout: float = 30.0
     #: JSON Lines path for the shutdown run record (None = don't emit).
     emit_metrics: Optional[str] = None
 
@@ -79,6 +82,8 @@ class CacheAdvisorDaemon:
         self._server: Optional[asyncio.base_events.Server] = None
         self._started = time.perf_counter()
         self.port: Optional[int] = None
+        #: Open connections, so shutdown can end idle keep-alive sessions.
+        self._connections: set = set()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -103,6 +108,11 @@ class CacheAdvisorDaemon:
     async def aclose(self) -> None:
         if self._server is not None:
             self._server.close()
+            # Idle keep-alive connections would stall wait_closed (it
+            # waits on handlers in newer asyncio); closing them delivers
+            # EOF to their pending read and the handlers drain out.
+            for writer in list(self._connections):
+                writer.close()
             await self._server.wait_closed()
             self._server = None
         self.service.close()
@@ -128,15 +138,24 @@ class CacheAdvisorDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
-            try:
-                request = await read_request(reader)
-            except (HttpError, asyncio.IncompleteReadError) as exc:
-                await send_json(writer, 400, {"error": f"bad request: {exc}"})
-                return
-            if request is None:
-                return
-            await self._dispatch(request, writer)
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader), timeout=self.config.keepalive_timeout
+                    )
+                except asyncio.TimeoutError:
+                    return  # idle keep-alive connection expired
+                except (HttpError, asyncio.IncompleteReadError) as exc:
+                    await send_json(writer, 400, {"error": f"bad request: {exc}"})
+                    return
+                if request is None:
+                    return  # clean EOF between requests
+                keep_alive = request.wants_keep_alive
+                consumed = await self._dispatch(request, writer, keep_alive)
+                if consumed or not keep_alive:
+                    return
         except (ConnectionError, asyncio.CancelledError):
             pass  # client went away; nothing to answer
         except Exception as exc:  # pragma: no cover - last-ditch guard
@@ -146,29 +165,46 @@ class CacheAdvisorDaemon:
             except (ConnectionError, OSError):
                 pass
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool = False
+    ) -> bool:
+        """Answer one request; True when the response consumed the connection."""
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             await send_json(
-                writer, 200, {"status": "ok", "inflight": self.service.inflight}
+                writer,
+                200,
+                {"status": "ok", "inflight": self.service.inflight},
+                keep_alive=keep_alive,
             )
-            return
+            return False
         if route == ("GET", "/v1/stats"):
-            await send_json(writer, 200, self.stats_payload())
-            return
+            await send_json(writer, 200, self.stats_payload(), keep_alive=keep_alive)
+            return False
         if route == ("POST", "/v1/advise"):
-            await self._advise(request, writer)
-            return
+            return await self._advise(request, writer, keep_alive)
         if request.path in ("/healthz", "/v1/stats", "/v1/advise"):
-            await send_json(writer, 405, {"error": f"{request.method} not allowed here"})
-            return
-        await send_json(writer, 404, {"error": f"no such endpoint: {request.path}"})
+            await send_json(
+                writer,
+                405,
+                {"error": f"{request.method} not allowed here"},
+                keep_alive=keep_alive,
+            )
+            return False
+        await send_json(
+            writer,
+            404,
+            {"error": f"no such endpoint: {request.path}"},
+            keep_alive=keep_alive,
+        )
+        return False
 
     def stats_payload(self) -> dict:
         return {
@@ -181,18 +217,22 @@ class CacheAdvisorDaemon:
             "store_root": str(self.service.store.root),
         }
 
-    async def _advise(self, request: Request, writer: asyncio.StreamWriter) -> None:
+    async def _advise(
+        self, request: Request, writer: asyncio.StreamWriter, keep_alive: bool = False
+    ) -> bool:
+        cached = await self.service.cached_bad_request(request.body)
+        if cached is not None:
+            await send_json(writer, 400, {"error": cached}, keep_alive=keep_alive)
+            return False
         try:
             query = parse_query(request.json())
-        except HttpError as exc:
-            await send_json(writer, 400, {"error": str(exc)})
-            return
-        except BadRequestError as exc:
-            await send_json(writer, 400, {"error": str(exc)})
-            return
+        except (HttpError, BadRequestError) as exc:
+            await self.service.record_bad_request(request.body, str(exc))
+            await send_json(writer, 400, {"error": str(exc)}, keep_alive=keep_alive)
+            return False
         if query.stream:
             await self._advise_streaming(query, writer)
-            return
+            return True
         try:
             payload = await self.service.advise(query)
         except OverloadedError as exc:
@@ -201,12 +241,16 @@ class CacheAdvisorDaemon:
                 exc.status,
                 {"error": str(exc), "retry_after_s": exc.retry_after},
                 extra_headers={"Retry-After": str(max(1, int(exc.retry_after)))},
+                keep_alive=keep_alive,
             )
-            return
+            return False
         except AdviseError as exc:
-            await send_json(writer, exc.status, {"error": str(exc)})
-            return
-        await send_json(writer, 200, payload)
+            await send_json(
+                writer, exc.status, {"error": str(exc)}, keep_alive=keep_alive
+            )
+            return False
+        await send_json(writer, 200, payload, keep_alive=keep_alive)
+        return False
 
     async def _advise_streaming(self, query, writer: asyncio.StreamWriter) -> None:
         events = self.service.advise_stream(query)

@@ -6,11 +6,14 @@ module is the wire layer both sides share: request parsing and response
 writing for the server, and a small JSON client (plain and chunked-
 streaming) for the load generator, the tests, and the CI smoke job.
 
-Scope intentionally small: one request per connection
-(``Connection: close``), ``Content-Length`` bodies on requests,
-fixed-length or chunked (NDJSON event stream) bodies on responses.
-That covers the advisor protocol exactly and keeps every code path
-testable.
+Scope intentionally small: ``Content-Length`` bodies on requests,
+fixed-length or chunked (NDJSON event stream) bodies on responses,
+and HTTP/1.1 persistent connections — the server answers requests in
+sequence on one connection until a side says ``Connection: close``
+(HTTP/1.0 requests close by default, per the spec), and
+:class:`JsonClient` is the matching reusable client.  Streaming
+responses still end the connection: the chunked terminator doubles as
+the end-of-response signal and streams are long-lived anyway.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ __all__ = [
     "read_request",
     "send_json",
     "ChunkedJsonWriter",
+    "JsonClient",
     "request_json",
     "stream_json_events",
 ]
@@ -59,6 +63,20 @@ class Request:
     query: str
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
+
+    @property
+    def wants_keep_alive(self) -> bool:
+        """Whether the connection should survive this request.
+
+        HTTP/1.1 keeps the connection unless the client says
+        ``Connection: close``; HTTP/1.0 closes unless the client says
+        ``Connection: keep-alive``.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
 
     def json(self) -> object:
         """The request body decoded as JSON (``{}`` when empty)."""
@@ -85,7 +103,7 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     parts = line.decode("latin-1").rstrip("\r\n").split(" ")
     if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
         raise HttpError(f"malformed request line: {line!r}")
-    method, target, _version = parts
+    method, target, version = parts
     path, _, query = target.partition("?")
     headers: Dict[str, str] = {}
     while True:
@@ -104,7 +122,14 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
     if length < 0 or length > MAX_BODY_BYTES:
         raise HttpError(f"request body of {length} bytes out of bounds")
     body = await reader.readexactly(length) if length else b""
-    return Request(method=method.upper(), path=path, query=query, headers=headers, body=body)
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+        version=version,
+    )
 
 
 def _status_head(status: int, headers: Dict[str, str]) -> bytes:
@@ -119,13 +144,14 @@ async def send_json(
     status: int,
     payload: object,
     extra_headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> None:
     """Write one complete JSON response and flush it."""
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     headers = {
         "Content-Type": "application/json",
         "Content-Length": str(len(body)),
-        "Connection": "close",
+        "Connection": "keep-alive" if keep_alive else "close",
     }
     if extra_headers:
         headers.update(extra_headers)
@@ -170,13 +196,14 @@ class ChunkedJsonWriter:
 # -- client side --------------------------------------------------------------
 
 
-def _request_head(method: str, path: str, host: str, body: bytes) -> bytes:
+def _request_head(method: str, path: str, host: str, body: bytes, close: bool = True) -> bytes:
+    connection = "close" if close else "keep-alive"
     return (
         f"{method} {path} HTTP/1.1\r\n"
         f"Host: {host}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n\r\n"
+        f"Connection: {connection}\r\n\r\n"
     ).encode("latin-1")
 
 
@@ -200,6 +227,28 @@ async def _read_response_head(
     return status, headers
 
 
+async def _read_json_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], object]:
+    """Read one full response: status, headers, decoded JSON body.
+
+    Chunked responses are drained whole and decoded as the *last* JSON
+    line (the final ``result``/``error`` event), so callers that do not
+    care about streaming can issue the same queries streaming clients do.
+    """
+    status, headers = await _read_response_head(reader)
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        raw = b"".join([chunk async for chunk in _iter_chunks(reader)])
+    else:
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+    decoded: object = None
+    if raw:
+        lines = [line for line in raw.decode("utf-8").splitlines() if line.strip()]
+        decoded = json.loads(lines[-1]) if lines else None
+    return status, headers, decoded
+
+
 async def request_json(
     host: str,
     port: int,
@@ -208,12 +257,7 @@ async def request_json(
     payload: Optional[object] = None,
     timeout: float = 60.0,
 ) -> Tuple[int, Dict[str, str], object]:
-    """One JSON round trip: ``(status, headers, decoded body)``.
-
-    Chunked responses are drained whole and decoded as the *last* JSON
-    line (the final ``result``/``error`` event), so callers that do not
-    care about streaming can issue the same queries streaming clients do.
-    """
+    """One JSON round trip on a fresh connection (see :func:`_read_json_response`)."""
 
     async def _roundtrip():
         reader, writer = await asyncio.open_connection(host, port)
@@ -221,17 +265,7 @@ async def request_json(
             body = b"" if payload is None else json.dumps(payload).encode("utf-8")
             writer.write(_request_head(method, path, f"{host}:{port}", body) + body)
             await writer.drain()
-            status, headers = await _read_response_head(reader)
-            if headers.get("transfer-encoding", "").lower() == "chunked":
-                raw = b"".join([chunk async for chunk in _iter_chunks(reader)])
-            else:
-                length = int(headers.get("content-length", "0"))
-                raw = await reader.readexactly(length) if length else b""
-            decoded: object = None
-            if raw:
-                lines = [line for line in raw.decode("utf-8").splitlines() if line.strip()]
-                decoded = json.loads(lines[-1]) if lines else None
-            return status, headers, decoded
+            return await _read_json_response(reader)
         finally:
             writer.close()
             try:
@@ -240,6 +274,80 @@ async def request_json(
                 pass
 
     return await asyncio.wait_for(_roundtrip(), timeout)
+
+
+class JsonClient:
+    """A JSON client that keeps one connection alive across requests.
+
+    Requests are sent with ``Connection: keep-alive`` and the socket is
+    reused until the server answers ``Connection: close`` (streaming
+    responses do) or drops an idle connection — a reused connection
+    that turns out to be stale is reopened and the request retried
+    once, which is safe because advisor queries are idempotent reads.
+    Not safe for concurrent use; the load generator holds one client
+    per in-flight slot.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: Round trips that reused an already-open connection.
+        self.reused = 0
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        timeout: float = 60.0,
+    ) -> Tuple[int, Dict[str, str], object]:
+        """One JSON round trip: ``(status, headers, decoded body)``."""
+        return await asyncio.wait_for(self._roundtrip(method, path, payload), timeout)
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: Optional[object]
+    ) -> Tuple[int, Dict[str, str], object]:
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        head = _request_head(method, path, f"{self.host}:{self.port}", body, close=False)
+        while True:
+            reusing = self._writer is not None
+            if not reusing:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                status, headers, decoded = await _read_json_response(self._reader)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, HttpError):
+                await self.aclose()
+                if reusing:
+                    continue  # stale keep-alive connection; retry once fresh
+                raise
+            if reusing:
+                self.reused += 1
+            if headers.get("connection", "").lower() == "close":
+                await self.aclose()
+            return status, headers, decoded
+
+    async def aclose(self) -> None:
+        """Close the underlying connection (reopened on the next request)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is None:
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    async def __aenter__(self) -> "JsonClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
 
 
 async def _iter_chunks(reader: asyncio.StreamReader) -> AsyncIterator[bytes]:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..common.errors import ConfigurationError
-from .httpio import request_json
+from .httpio import JsonClient, request_json
 
 __all__ = ["percentiles", "ClassReport", "LoadReport", "run_loadgen", "main"]
 
@@ -84,16 +84,22 @@ class LoadReport:
     classes: Dict[str, ClassReport]
     server_stats: Dict[str, object]
     elapsed_s: float
+    #: Round trips that reused an already-open keep-alive connection.
+    reused_round_trips: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
             "elapsed_s": round(self.elapsed_s, 3),
+            "reused_round_trips": self.reused_round_trips,
             "classes": {name: report.as_dict() for name, report in self.classes.items()},
             "server": self.server_stats,
         }
 
     def render(self) -> str:
-        lines = [f"loadgen finished in {self.elapsed_s:.2f}s"]
+        lines = [
+            f"loadgen finished in {self.elapsed_s:.2f}s "
+            f"({self.reused_round_trips} round trips on reused connections)"
+        ]
         for name, report in self.classes.items():
             pct = percentiles(report.latencies_s)
             sources = " ".join(
@@ -141,12 +147,17 @@ async def wait_ready(host: str, port: int, timeout: float = 20.0) -> None:
 
 
 async def _timed_advise(host: str, port: int, payload: Dict, report: ClassReport,
-                        timeout: float) -> None:
+                        timeout: float, client: Optional[JsonClient] = None) -> None:
     started = time.perf_counter()
     try:
-        status, _, body = await request_json(
-            host, port, "POST", "/v1/advise", payload, timeout=timeout
-        )
+        if client is not None:
+            status, _, body = await client.request(
+                "POST", "/v1/advise", payload, timeout=timeout
+            )
+        else:
+            status, _, body = await request_json(
+                host, port, "POST", "/v1/advise", payload, timeout=timeout
+            )
     except (ConnectionError, OSError, asyncio.TimeoutError):
         report.errors += 1
         return
@@ -194,27 +205,43 @@ async def run_loadgen(
         if prime.errors:
             raise RuntimeError(f"priming request failed against {host}:{port}")
     gate = asyncio.Semaphore(max(1, concurrency))
+    # One persistent keep-alive connection per concurrency slot: requests
+    # check a client out of the pool so connections are reused across the
+    # whole run instead of handshaking per request.
+    pool = [JsonClient(host, port) for _ in range(max(1, concurrency))]
+    idle: asyncio.Queue = asyncio.Queue()
+    for client in pool:
+        idle.put_nowait(client)
 
     async def gated(payload: Dict, report: ClassReport) -> None:
         async with gate:
-            await _timed_advise(host, port, payload, report, timeout)
+            client = await idle.get()
+            try:
+                await _timed_advise(host, port, payload, report, timeout, client=client)
+            finally:
+                idle.put_nowait(client)
 
-    await asyncio.gather(
-        *(gated(dict(base), classes["warm"]) for _ in range(warm_requests))
-    )
-    for index in range(cold_requests):
-        await gated(
-            _query(trace, scale, seed, structure, warmup=100 + index), classes["cold"]
+    try:
+        await asyncio.gather(
+            *(gated(dict(base), classes["warm"]) for _ in range(warm_requests))
         )
-    duplicate_query = _query(trace, scale, seed, structure, warmup=100 + cold_requests)
-    await asyncio.gather(
-        *(gated(dict(duplicate_query), classes["duplicate"]) for _ in range(duplicates))
-    )
-    _, _, stats = await request_json(host, port, "GET", "/v1/stats", timeout=timeout)
+        for index in range(cold_requests):
+            await gated(
+                _query(trace, scale, seed, structure, warmup=100 + index), classes["cold"]
+            )
+        duplicate_query = _query(trace, scale, seed, structure, warmup=100 + cold_requests)
+        await asyncio.gather(
+            *(gated(dict(duplicate_query), classes["duplicate"]) for _ in range(duplicates))
+        )
+        _, _, stats = await request_json(host, port, "GET", "/v1/stats", timeout=timeout)
+    finally:
+        for client in pool:
+            await client.aclose()
     return LoadReport(
         classes=classes,
         server_stats=stats if isinstance(stats, dict) else {},
         elapsed_s=time.perf_counter() - started,
+        reused_round_trips=sum(client.reused for client in pool),
     )
 
 

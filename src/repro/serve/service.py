@@ -35,6 +35,7 @@ with a socket:
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -51,8 +52,8 @@ from ..specs import (
     workload_from_dict,
 )
 from ..specs.structures import structure_from_dict
-from ..store import ResultStore, current_store
-from ..store.codec import encode_result
+from ..store import ResultKey, ResultStore, current_store
+from ..store.codec import BadQuery, encode_result
 from ..traces.registry import get_workload
 from ..experiments.engine import (
     LevelJob,
@@ -119,7 +120,7 @@ class ServingCounters:
 
     __slots__ = (
         "requests", "warm_hits", "cold_misses", "coalesced",
-        "rejected", "failed", "streams",
+        "rejected", "failed", "streams", "negative_hits",
     )
 
     def __init__(self) -> None:
@@ -130,6 +131,7 @@ class ServingCounters:
         self.rejected = 0
         self.failed = 0
         self.streams = 0
+        self.negative_hits = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -297,6 +299,43 @@ class AdvisorService:
     def retry_after(self) -> float:
         """Seconds a rejected client should wait before retrying."""
         return min(60.0, max(1.0, self._cold_seconds))
+
+    # -- the negative cache ----------------------------------------------------
+    #
+    # Malformed and unsatisfiable bodies are memoized too: parsing is
+    # cheap, but some rejections are not (an unknown workload name, a
+    # structure code that fails validation), and a misconfigured client
+    # retries the *same bytes* in a tight loop.  The key is the hash of
+    # the raw body, so the cache can be consulted before any parsing.
+
+    @staticmethod
+    def _bad_request_key(body: bytes) -> ResultKey:
+        return ResultKey(
+            job_kind="bad-query",
+            spec_hash=hashlib.sha256(body).hexdigest(),
+            trace_fingerprint="-",
+        )
+
+    async def cached_bad_request(self, body: bytes) -> Optional[str]:
+        """The memoized 400 message for this exact body, or None."""
+        loop = asyncio.get_running_loop()
+        cached, _nbytes = await loop.run_in_executor(
+            self._lookup_pool, self.store.get, self._bad_request_key(body)
+        )
+        if isinstance(cached, BadQuery):
+            self.counters.negative_hits += 1
+            return cached.error
+        return None
+
+    async def record_bad_request(self, body: bytes, message: str) -> None:
+        """Memoize a rejection so retries of the same body skip parsing."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._lookup_pool,
+            self.store.put,
+            self._bad_request_key(body),
+            BadQuery(error=message),
+        )
 
     # -- the request path ------------------------------------------------------
 

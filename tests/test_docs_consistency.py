@@ -39,6 +39,7 @@ class TestBenchmarkHarnessComplete:
             "core_throughput",
             "telemetry_overhead",
             "kernel_throughput",
+            "assist_kernel_throughput",
             "serve_latency",
             "workload_throughput",
         }

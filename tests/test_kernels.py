@@ -2,13 +2,17 @@
 
 The numpy backend is only allowed to exist because it is *exactly* the
 reference simulator, faster: every test here pins identical statistics —
-every LevelStats counter, every 3C classification bucket, warm-up
-semantics included — between :mod:`repro.kernels.numpy_backend` and the
-interpreter, on randomized synthetic streams and on all seven named
-workloads.  Dispatch tests pin the selection rules: stateful structures
-always fall back to the interpreter (never an error), ``REPRO_BACKEND``
-is validated at the CLI boundary, and a numpy request on a machine
-without numpy degrades with a one-time recorded warning.
+every LevelStats counter, every 3C classification bucket, every sweep
+bucket, warm-up semantics included — between
+:mod:`repro.kernels.numpy_backend` / :mod:`repro.kernels.assist` and the
+interpreter, on randomized synthetic streams, on all seven named
+workloads, and on the pattern workload specs.  Dispatch tests pin the
+selection rules: every registered structure kind has a kernel mode
+(``vector`` or ``miss-replay``, per :func:`repro.kernels.kernel_mode`),
+undescribable inputs fall back to the interpreter (never an error) with
+*all* disqualifying reasons named, ``REPRO_BACKEND`` is validated at the
+CLI boundary, and a numpy request on a machine without numpy degrades
+with a one-time recorded warning.
 """
 
 from __future__ import annotations
@@ -24,18 +28,36 @@ from repro.experiments.runner import run_level, run_system
 from repro.kernels import (
     AUTO,
     ENV_BACKEND,
+    MISS_REPLAY,
     NUMPY,
     PYTHON,
+    VECTOR,
     KernelFallbackWarning,
     _reset_probe_for_tests,
     default_backend,
     disqualification,
+    disqualifications,
+    kernel_mode,
     numpy_available,
     qualifies,
     select_backend,
+    structure_mode,
     validate_backend,
 )
-from repro.specs import SystemSpec, TraceSpec, VictimCacheSpec
+from repro.specs import (
+    MissCacheSpec,
+    MultiWayStreamBufferSpec,
+    StreamBufferSpec,
+    SystemSpec,
+    TraceSpec,
+    VictimCacheSpec,
+)
+from repro.specs.structures import (
+    CompositeSpec,
+    MultiWayStrideBufferSpec,
+    StrideBufferSpec,
+)
+from repro.specs.workloads import HotspotSpec, PointerChaseSpec, ZipfianSpec
 from repro.telemetry import core as telemetry
 from repro.traces.registry import BENCHMARK_NAMES, EXTENSION_NAMES, build_trace
 
@@ -126,6 +148,225 @@ def test_lru_shadow_matches_live_cache():
         assert lru_shadow_hit_mask(lines, capacity).tolist() == expected
 
 
+@needs_numpy
+def test_rank_left_leq_with_thresholds_matches_brute_force():
+    from repro.kernels.numpy_backend import _rank_left_leq
+
+    rng = random.Random(21)
+    for _ in range(20):
+        n = rng.randrange(2, 120)
+        values = np.array([rng.randrange(25) for _ in range(n)], dtype=np.int64)
+        thresholds = np.array(
+            [rng.randrange(-1, int(values.max()) + 1) for _ in range(n)],
+            dtype=np.int64,
+        )
+        queries = np.array(
+            sorted(rng.sample(range(n), rng.randrange(1, n + 1))), dtype=np.int64
+        )
+        got = _rank_left_leq(values, queries=queries, thresholds=thresholds)
+        for q in queries.tolist():
+            expected = int(sum(values[j] <= thresholds[q] for j in range(q)))
+            assert got[q] == expected
+
+
+# -- equivalence: assist structures over the miss stream ----------------------
+
+#: Every registered structure kind, both kernel modes, edge options.
+ASSIST_SPECS = [
+    MissCacheSpec(entries=1),
+    MissCacheSpec(entries=4),
+    MissCacheSpec(entries=4, policy="fifo"),
+    VictimCacheSpec(entries=1),
+    VictimCacheSpec(entries=4),
+    VictimCacheSpec(entries=4, swap_on_hit=False),
+    StreamBufferSpec(entries=4),
+    StreamBufferSpec(entries=1, max_run=3),
+    StreamBufferSpec(entries=4, max_run=16),
+    StreamBufferSpec(entries=4, model_availability=True),
+    StreamBufferSpec(entries=4, allocation_filter=True),
+    StreamBufferSpec(entries=4, head_only=False),
+    MultiWayStreamBufferSpec(ways=4, entries=4),
+    MultiWayStreamBufferSpec(ways=2, entries=3, model_availability=True),
+    StrideBufferSpec(entries=4),
+    MultiWayStrideBufferSpec(ways=2, entries=4),
+    CompositeSpec(
+        members=(
+            VictimCacheSpec(entries=4),
+            MultiWayStreamBufferSpec(ways=4, entries=4),
+        )
+    ),
+]
+
+
+def _assert_assist_equivalent(addresses, config, spec, warmup=0, context=()):
+    from repro.kernels.assist import simulate_assist_level
+    from repro.specs.structures import build
+
+    reference = run_level(
+        addresses, config, augmentation=build(spec), classify=True, warmup=warmup
+    )
+    kernel = simulate_assist_level(
+        addresses, config, spec, classify=True, warmup=warmup
+    )
+    label = (*context, spec)
+    assert kernel.stats.as_dict() == reference.stats.as_dict(), label
+    assert kernel.classification == reference.classifier.summary(), label
+
+
+@needs_numpy
+@pytest.mark.parametrize("spec", ASSIST_SPECS, ids=lambda s: s.to_json())
+def test_randomized_assist_equivalence(spec):
+    """Every LevelStats counter identical on randomized streams.
+
+    Mixed random/sequential streams exercise both stream-buffer chains
+    and cache-conflict churn; small geometries maximize miss density.
+    """
+    rng = random.Random(hash(spec.to_json()) & 0xFFFF)
+    for case in range(6):
+        n = rng.choice([0, 1, 2, 120, 1500])
+        span = rng.choice([30, 200, 4000])
+        addresses = []
+        cursor = 0
+        for _ in range(n):
+            if rng.random() < 0.4:
+                cursor = rng.randrange(span)
+            addresses.append(cursor * 16)
+            cursor += 1
+        config = CacheConfig(rng.choice([512, 4096]), 16)
+        warmup = rng.choice([0, 13, n, n + 5])
+        _assert_assist_equivalent(
+            addresses, config, spec, warmup, context=(case, n, span, warmup)
+        )
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_named_trace_assist_equivalence(name):
+    """Identical stats on every named workload for one spec per mode."""
+    trace = build_trace(name, 3000).materialize()
+    config = CacheConfig(4096, 16)
+    addresses = trace.stream("d")
+    for spec in (
+        MissCacheSpec(entries=4),
+        VictimCacheSpec(entries=4),
+        StreamBufferSpec(entries=4),
+        MultiWayStreamBufferSpec(ways=4, entries=4),
+    ):
+        _assert_assist_equivalent(addresses, config, spec, 500, context=(name,))
+
+
+@needs_numpy
+@pytest.mark.parametrize(
+    "workload",
+    [
+        ZipfianSpec(length=2500, keys=600, seed=3),
+        HotspotSpec(length=2500, working_set=16384, seed=3),
+        PointerChaseSpec(length=2500, nodes=512, seed=3),
+    ],
+    ids=lambda w: w.kind,
+)
+def test_pattern_workload_assist_equivalence(workload):
+    """The modern pattern workloads agree too, at several capacities."""
+    trace = workload.trace()
+    config = CacheConfig(4096, 16)
+    addresses = trace.stream("d")
+    for entries in (1, 2, 8):
+        _assert_assist_equivalent(
+            addresses, config, VictimCacheSpec(entries=entries), 200
+        )
+        _assert_assist_equivalent(
+            addresses, config, MissCacheSpec(entries=entries), 200
+        )
+    _assert_assist_equivalent(addresses, config, StreamBufferSpec(entries=4), 200)
+
+
+@needs_numpy
+def test_one_pass_entry_sweep_matches_per_capacity_runs():
+    """The single rank pass equals one full simulation per capacity."""
+    from repro.experiments.sweeps import miss_cache_sweep, victim_cache_sweep
+    from repro.kernels.assist import entry_sweep, simulate_assist_level
+    from repro.specs.structures import MissCacheSpec as MC
+    from repro.specs.structures import VictimCacheSpec as VC
+
+    trace = build_trace("ccom", 2500).materialize()
+    config = CacheConfig(2048, 16)
+    addresses = trace.stream("d")
+    for kind, sweep_fn, spec_cls in (
+        ("miss", miss_cache_sweep, MC),
+        ("victim", victim_cache_sweep, VC),
+    ):
+        reference = sweep_fn(addresses, config, max_entries=10)
+        kernel = entry_sweep(addresses, config, kind, 10)
+        assert kernel.total_misses == reference.total_misses
+        assert kernel.conflict_misses == reference.conflict_misses
+        assert kernel.hits_by_entries == reference.hits_by_entries
+        # ...and each sweep bucket equals an independent capacity-k run.
+        for k in (1, 5, 10):
+            run = simulate_assist_level(addresses, config, spec_cls(entries=k))
+            assert kernel.hits_by_entries[k] == run.stats.removed_misses, (kind, k)
+
+
+@needs_numpy
+@pytest.mark.parametrize("ways", [1, 4])
+def test_run_length_sweep_equivalence(ways):
+    from repro.experiments.sweeps import stream_buffer_run_sweep
+    from repro.kernels.assist import run_length_sweep
+
+    trace = build_trace("linpack", 2500).materialize()
+    config = CacheConfig(2048, 16)
+    addresses = trace.stream("d")
+    reference = stream_buffer_run_sweep(
+        addresses, config, ways=ways, entries=4, max_run=12
+    )
+    kernel = run_length_sweep(addresses, config, ways=ways, entries=4, max_run=12)
+    assert kernel.total_misses == reference.total_misses
+    assert kernel.removed_by_run == reference.removed_by_run
+
+
+@needs_numpy
+def test_sweep_jobs_identical_across_backends(monkeypatch):
+    """Entry/run sweep jobs return identical results on both backends."""
+    from repro.experiments.engine import EntrySweepJob, RunSweepJob, run_jobs
+
+    jobs = [
+        EntrySweepJob(qualifying_spec(), kind="miss", max_entries=6),
+        EntrySweepJob(qualifying_spec(), kind="victim", max_entries=6),
+        RunSweepJob(qualifying_spec(), ways=1, entries=4, max_run=8),
+        RunSweepJob(qualifying_spec(), ways=4, entries=4, max_run=8),
+    ]
+    monkeypatch.setenv(ENV_BACKEND, "python")
+    python_results = run_jobs(jobs)
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    numpy_results = run_jobs(jobs)
+    for py, vec, job in zip(python_results, numpy_results, jobs):
+        assert py.__dict__ == vec.__dict__, job
+
+
+@needs_numpy
+def test_assist_jobs_identical_across_backends(monkeypatch):
+    """Structure-carrying LevelJobs agree end to end through run_jobs."""
+    from repro.experiments.engine import LevelJob, run_jobs
+
+    jobs = [
+        LevelJob(qualifying_spec(structure=VictimCacheSpec(entries=4), warmup=300)),
+        LevelJob(
+            qualifying_spec(
+                structure=MultiWayStreamBufferSpec(ways=4, entries=4), classify=True
+            )
+        ),
+        LevelJob(
+            qualifying_spec(
+                structure=StreamBufferSpec(entries=4, model_availability=True)
+            )
+        ),
+    ]
+    monkeypatch.setenv(ENV_BACKEND, "python")
+    python_results = run_jobs(jobs)
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    numpy_results = run_jobs(jobs)
+    assert numpy_results == python_results
+
+
 # -- equivalence: full system -------------------------------------------------
 
 
@@ -207,11 +448,79 @@ def test_select_without_numpy_matches_vectorized(small_suite, monkeypatch):
 # -- dispatch -----------------------------------------------------------------
 
 
-def test_stateful_structures_fall_back():
-    spec = qualifying_spec(structure=VictimCacheSpec(entries=4))
+@pytest.mark.parametrize(
+    "structure,mode",
+    [
+        (None, VECTOR),
+        (MissCacheSpec(entries=4), VECTOR),
+        (MissCacheSpec(entries=4, policy="fifo"), MISS_REPLAY),
+        (VictimCacheSpec(entries=4), VECTOR),
+        (VictimCacheSpec(entries=4, swap_on_hit=False), MISS_REPLAY),
+        (VictimCacheSpec(entries=4, policy="fifo"), MISS_REPLAY),
+        (StreamBufferSpec(entries=4), VECTOR),
+        (StreamBufferSpec(entries=4, max_run=8), VECTOR),
+        (StreamBufferSpec(entries=4, model_availability=True), MISS_REPLAY),
+        (StreamBufferSpec(entries=4, allocation_filter=True), MISS_REPLAY),
+        (StreamBufferSpec(entries=4, head_only=False), MISS_REPLAY),
+        (MultiWayStreamBufferSpec(ways=4, entries=4), MISS_REPLAY),
+        (StrideBufferSpec(entries=4), MISS_REPLAY),
+        (MultiWayStrideBufferSpec(ways=2, entries=4), MISS_REPLAY),
+        (
+            CompositeSpec(
+                members=(
+                    VictimCacheSpec(entries=4),
+                    MultiWayStreamBufferSpec(ways=4, entries=4),
+                )
+            ),
+            MISS_REPLAY,
+        ),
+    ],
+)
+def test_every_registered_structure_has_a_mode(structure, mode):
+    """The mode table: every registered structure kind now qualifies."""
+    assert structure_mode(structure) == mode
+    spec = qualifying_spec(structure=structure)
+    assert qualifies(spec)
+    assert disqualification(spec) is None
+    assert kernel_mode(spec) == mode
+    if numpy_available():
+        assert select_backend(spec, requested=NUMPY) == NUMPY
+
+
+def test_unregistered_structure_disqualifies():
+    class Mystery:
+        kind = "mystery"
+
+    spec = qualifying_spec(structure=None)
+    object.__setattr__(spec, "structure", Mystery())
     assert not qualifies(spec)
-    assert "victim" in disqualification(spec)
+    assert structure_mode(Mystery()) is None
+    assert kernel_mode(spec) is None
+    assert "Mystery" in disqualification(spec)
     # Never an error — even under an explicit numpy request.
+    assert select_backend(spec, requested=NUMPY) == PYTHON
+
+
+def test_disqualification_reports_all_reasons():
+    """A composite with several unsupported members names each of them."""
+
+    class Left:
+        kind = "left_mystery"
+
+    class Right:
+        kind = "right_mystery"
+
+    composite = CompositeSpec(
+        members=(VictimCacheSpec(entries=4), VictimCacheSpec(entries=2))
+    )
+    object.__setattr__(composite, "members", (Left(), Right()))
+    spec = qualifying_spec(structure=composite)
+    reasons = disqualifications(spec)
+    assert len(reasons) == 2
+    assert any("left_mystery" in reason for reason in reasons)
+    assert any("right_mystery" in reason for reason in reasons)
+    joined = disqualification(spec)
+    assert "left_mystery" in joined and "right_mystery" in joined
     assert select_backend(spec, requested=NUMPY) == PYTHON
 
 
@@ -307,12 +616,21 @@ def test_backend_counts_reach_run_record(monkeypatch):
     jobs = [
         LevelJob(qualifying_spec(side="d")),
         LevelJob(qualifying_spec(side="d", structure=VictimCacheSpec(entries=4))),
+        LevelJob(
+            qualifying_spec(
+                side="d", structure=MultiWayStreamBufferSpec(ways=4, entries=4)
+            )
+        ),
     ]
     heartbeats = []
     with telemetry.scoped() as scope:
         run_jobs(jobs, progress=heartbeats.append)
         record = build_run_record(scope, "kernels-test", baseline_system(), 0.1)
-    expected = {"numpy": 1, "python": 1} if numpy_available() else {"python": 2}
+    # Bare + victim cache vectorize; the multi-way buffer replays the
+    # compressed miss stream and is labelled accordingly.
+    expected = (
+        {"numpy": 2, "miss-replay": 1} if numpy_available() else {"python": 3}
+    )
     assert scope.backend_jobs == expected
     assert record.backends == expected
     validate_record(record.as_dict())

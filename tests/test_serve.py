@@ -15,10 +15,17 @@ import threading
 import pytest
 
 from repro.experiments.engine import LevelSummary
+from repro.serve import daemon as daemon_mod
 from repro.serve import service as service_mod
 from repro.serve.cli import main as serve_main
 from repro.serve.daemon import CacheAdvisorDaemon, ServeConfig
-from repro.serve.httpio import HttpError, Request, request_json, stream_json_events
+from repro.serve.httpio import (
+    HttpError,
+    JsonClient,
+    Request,
+    request_json,
+    stream_json_events,
+)
 from repro.serve.loadgen import (
     ClassReport,
     LoadReport,
@@ -132,7 +139,7 @@ class TestRoutes:
             reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
             body = b"not json!"
             writer.write(
-                b"POST /v1/advise HTTP/1.1\r\nHost: t\r\n"
+                b"POST /v1/advise HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
                 + f"Content-Length: {len(body)}\r\n\r\n".encode()
                 + body
             )
@@ -219,7 +226,14 @@ class TestCoalescing:
             loop = asyncio.get_running_loop()
             burst = [asyncio.ensure_future(advise(daemon, query(warmup=7))) for _ in range(5)]
             await loop.run_in_executor(None, fake_engine.started.wait, 10)
-            # All five are attached to one inflight entry before release.
+            # Hold the engine until every duplicate has attached to the
+            # single inflight entry — releasing earlier would let a slow
+            # connection arrive after the result landed in the store and
+            # be (correctly, but unhelpfully for this test) served warm.
+            deadline = loop.time() + 10
+            while daemon.service.counters.coalesced < 4:
+                assert loop.time() < deadline, "duplicates never coalesced"
+                await asyncio.sleep(0.01)
             assert daemon.service.inflight == 1
             fake_engine.release.set()
             outcomes = await asyncio.gather(*burst)
@@ -339,6 +353,172 @@ class TestStreaming:
         serve_test(check, max_inflight=1)
 
 
+class TestKeepAlive:
+    def test_wants_keep_alive_semantics(self):
+        def req(version, connection=None):
+            headers = {} if connection is None else {"connection": connection}
+            return Request(method="GET", path="/", query="", headers=headers,
+                           version=version)
+
+        assert req("HTTP/1.1").wants_keep_alive
+        assert req("HTTP/1.1", "keep-alive").wants_keep_alive
+        assert not req("HTTP/1.1", "close").wants_keep_alive
+        assert not req("HTTP/1.0").wants_keep_alive
+        assert req("HTTP/1.0", "keep-alive").wants_keep_alive
+
+    def test_sequential_requests_reuse_one_connection(self, store):
+        async def check(daemon):
+            async with JsonClient("127.0.0.1", daemon.port) as client:
+                status1, headers1, body1 = await client.request(
+                    "GET", "/healthz", timeout=10
+                )
+                status2, _, body2 = await client.request("GET", "/v1/stats", timeout=10)
+                assert (status1, status2) == (200, 200)
+                assert headers1["connection"] == "keep-alive"
+                assert body1["status"] == "ok"
+                assert body2["serving"]["requests"] == 0
+                assert client.reused == 1  # second round trip reused the socket
+
+        serve_test(check)
+
+    def test_raw_pipeline_of_two_requests(self, store):
+        """Two requests written on one raw socket are both answered."""
+
+        async def check(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            head = (
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: keep-alive\r\nContent-Length: 0\r\n\r\n"
+            )
+            writer.write(head)
+            await writer.drain()
+            first = await asyncio.wait_for(reader.readuntil(b"}"), 10)
+            assert first.startswith(b"HTTP/1.1 200 ")
+            writer.write(head.replace(b"keep-alive", b"close"))
+            await writer.drain()
+            rest = await asyncio.wait_for(reader.read(), 10)
+            assert rest.startswith(b"HTTP/1.1 200 ")
+            assert b"Connection: close" in rest  # second reply ends the session
+            writer.close()
+
+        serve_test(check)
+
+    def test_connection_close_is_honored(self, store):
+        async def check(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\nContent-Length: 0\r\n\r\n"
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10)  # EOF: server closed
+            assert raw.startswith(b"HTTP/1.1 200 ")
+            assert b"Connection: close" in raw
+            writer.close()
+
+        serve_test(check)
+
+    def test_http_10_closes_by_default(self, store):
+        async def check(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            writer.write(b"GET /healthz HTTP/1.0\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10)
+            assert raw.startswith(b"HTTP/1.1 200 ")
+            assert b"Connection: close" in raw
+            writer.close()
+
+        serve_test(check)
+
+    def test_idle_timeout_expires_and_client_recovers(self, store):
+        async def check(daemon):
+            async with JsonClient("127.0.0.1", daemon.port) as client:
+                status, _, _ = await client.request("GET", "/healthz", timeout=10)
+                assert status == 200
+                await asyncio.sleep(0.4)  # past the 0.1s idle timeout
+                # The stale socket is detected and the request retried fresh.
+                status, _, _ = await client.request("GET", "/healthz", timeout=10)
+                assert status == 200
+
+        serve_test(check, keepalive_timeout=0.1)
+
+
+class TestNegativeCache:
+    def test_repeated_bad_query_is_served_from_cache(self, store):
+        parse_calls = 0
+        real_parse = daemon_mod.parse_query
+
+        def counting_parse(payload):
+            nonlocal parse_calls
+            parse_calls += 1
+            return real_parse(payload)
+
+        bad = {"structure": "vc4"}  # valid JSON, but no trace: a 400
+
+        async def check(daemon):
+            daemon_mod.parse_query = counting_parse
+            try:
+                status1, _, body1 = await advise(daemon, bad, timeout=10)
+                status2, _, body2 = await advise(daemon, bad, timeout=10)
+            finally:
+                daemon_mod.parse_query = real_parse
+            assert (status1, status2) == (400, 400)
+            assert body1 == body2  # byte-identical cached 400 body
+            assert parse_calls == 1  # the retry never re-parsed
+            assert daemon.service.counters.negative_hits == 1
+
+        serve_test(check)
+
+    def test_negative_entries_persist_across_daemons(self, store):
+        bad = {"trace": {"name": "no-such-workload"}}
+
+        async def first(daemon):
+            status, _, body = await advise(daemon, bad, timeout=10)
+            assert status == 400
+            return body
+
+        async def second(daemon):
+            status, _, body = await advise(daemon, bad, timeout=10)
+            assert status == 400
+            assert daemon.service.counters.negative_hits == 1
+            return body
+
+        assert serve_test(first) == serve_test(second)
+
+    def test_malformed_json_bytes_are_cached_too(self, store):
+        async def roundtrip(daemon):
+            reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+            body = b"{nope"
+            writer.write(
+                b"POST /v1/advise HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(), 10)
+            writer.close()
+            return raw
+
+        async def check(daemon):
+            first = await roundtrip(daemon)
+            second = await roundtrip(daemon)
+            assert first.startswith(b"HTTP/1.1 400 ")
+            assert second.startswith(b"HTTP/1.1 400 ")
+            assert daemon.service.counters.negative_hits == 1
+
+        serve_test(check)
+
+    def test_good_queries_never_touch_the_negative_cache(self, store):
+        async def check(daemon):
+            status, _, _ = await advise(daemon, query())
+            assert status == 200
+            assert daemon.service.counters.negative_hits == 0
+            # And the stored entry is the result, not a rejection.
+            assert daemon.service.store.stats().entries == 1
+
+        serve_test(check)
+
+
 class TestStatsAndMetrics:
     def test_stats_payload_shape(self, store):
         async def check(daemon):
@@ -446,3 +626,5 @@ class TestLoadgen:
         assert warm.served_from == {"store": 4}
         duplicate = report.classes["duplicate"]
         assert duplicate.served_from.get("simulated") == 1
+        # 8 requests over at most 4 pooled connections: reuse must happen.
+        assert report.reused_round_trips >= 4
