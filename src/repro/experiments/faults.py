@@ -31,6 +31,22 @@ The engine calls :func:`maybe_inject` with ``(index, attempt)`` before
 executing each job; with no plan configured the call is one cached
 environment check.  Tests may also install a plan in-process via
 :func:`set_plan` (serial execution only — workers read the environment).
+
+Serve-scoped actions (PR 10) share the grammar but target the
+``repro-serve`` request path instead of engine jobs::
+
+    store_read_fail@0x*     every result-store read raises
+    store_write_fail@0x2    the first two result-store writes raise
+    slow_sim@0x3:3          the first three cold-sim dispatches sleep 3s
+    reject_sim@3x*          every dispatch from the 4th on raises
+
+For serve clauses ``INDEX`` is the first affected *occurrence* of that
+operation (0-based, counted per action by the daemon's
+:class:`ServeFaults` instance) and ``COUNT`` is how many consecutive
+occurrences fire (default 1, ``*`` = forever) — so ``reject_sim@3x*``
+reads "from the fourth dispatch onward".  Engine matching
+(:func:`maybe_inject`) ignores serve clauses and vice versa, so one
+``REPRO_FAULT_PLAN`` can drive both layers at once.
 """
 
 from __future__ import annotations
@@ -38,17 +54,19 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..common.errors import ConfigurationError
 
 __all__ = [
     "ENV_FAULT_PLAN",
     "ACTIONS",
+    "SERVE_ACTIONS",
     "FaultClause",
     "FaultPlan",
     "InjectedFault",
     "CorruptPayload",
+    "ServeFaults",
     "parse_plan",
     "active_plan",
     "set_plan",
@@ -58,6 +76,9 @@ __all__ = [
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
 ACTIONS = ("crash", "kill", "hang", "corrupt", "interrupt")
+
+#: Actions matched by the repro-serve request path, never by the engine.
+SERVE_ACTIONS = ("store_read_fail", "store_write_fail", "slow_sim", "reject_sim")
 
 #: COUNT value meaning "every attempt".
 ALWAYS = -1
@@ -92,6 +113,16 @@ class FaultClause:
             return False
         return self.count == ALWAYS or attempt < self.count
 
+    def applies_occurrence(self, occurrence: int) -> bool:
+        """Serve-clause matching: a window of occurrences, not one job.
+
+        Fires for occurrences ``index`` through ``index + count - 1``
+        (``count == *`` leaves the window open-ended).
+        """
+        if occurrence < self.index:
+            return False
+        return self.count == ALWAYS or occurrence < self.index + self.count
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -99,9 +130,18 @@ class FaultPlan:
 
     clauses: Tuple[FaultClause, ...]
 
-    def clause_for(self, index: int, attempt: int) -> Optional[FaultClause]:
+    def clause_for(
+        self, index: int, attempt: int, actions: Tuple[str, ...] = ACTIONS
+    ) -> Optional[FaultClause]:
         for clause in self.clauses:
-            if clause.applies(index, attempt):
+            if clause.action in actions and clause.applies(index, attempt):
+                return clause
+        return None
+
+    def serve_clause(self, action: str, occurrence: int) -> Optional[FaultClause]:
+        """The serve clause firing for the Nth *occurrence* of *action*."""
+        for clause in self.clauses:
+            if clause.action == action and clause.applies_occurrence(occurrence):
                 return clause
         return None
 
@@ -114,10 +154,10 @@ def parse_plan(text: str) -> FaultPlan:
         if not raw_clause:
             continue
         action, sep, rest = raw_clause.partition("@")
-        if not sep or action not in ACTIONS:
+        if not sep or action not in ACTIONS + SERVE_ACTIONS:
             raise ConfigurationError(
                 f"fault clause {raw_clause!r}: expected ACTION@INDEX with "
-                f"ACTION one of {', '.join(ACTIONS)}"
+                f"ACTION one of {', '.join(ACTIONS + SERVE_ACTIONS)}"
             )
         seconds = 30.0
         if ":" in rest:
@@ -226,3 +266,29 @@ def maybe_inject(index: int, attempt: int) -> Optional[CorruptPayload]:
     if clause.action == "interrupt":
         raise KeyboardInterrupt(f"injected interrupt: job {index}, attempt {attempt}")
     return CorruptPayload(index)
+
+
+class ServeFaults:
+    """Occurrence-counting view of the active plan for serve actions.
+
+    One instance lives inside each :class:`~repro.serve.service.AdvisorService`;
+    every store read/write and cold-sim dispatch calls :meth:`fire` with
+    its action name, and the instance keeps a per-action occurrence
+    counter so clauses like ``reject_sim@3x*`` match deterministically.
+    Occurrences only advance while a plan is active, so enabling a plan
+    mid-session starts the schedule at occurrence 0.
+    """
+
+    def __init__(self) -> None:
+        self._seen: Dict[str, int] = {}
+
+    def fire(self, action: str) -> Optional[FaultClause]:
+        """The clause firing for this occurrence of *action*, if any."""
+        if action not in SERVE_ACTIONS:
+            raise ValueError(f"not a serve fault action: {action!r}")
+        plan = active_plan()
+        if plan is None:
+            return None
+        occurrence = self._seen.get(action, 0)
+        self._seen[action] = occurrence + 1
+        return plan.serve_clause(action, occurrence)

@@ -9,6 +9,7 @@ with admission control and streamed progress heartbeats.  See
 ``docs/API.md`` ("Serving") for the endpoint and schema reference.
 """
 
+from .breaker import CircuitBreaker
 from .daemon import CacheAdvisorDaemon, ServeConfig
 from .loadgen import LoadReport, percentiles, run_loadgen
 from .service import (
@@ -16,8 +17,11 @@ from .service import (
     AdviseQuery,
     AdvisorService,
     BadRequestError,
+    BreakerOpenError,
+    DeadlineExceededError,
     OverloadedError,
     ServingCounters,
+    StoreDegradedWarning,
     UpstreamError,
     parse_query,
 )
@@ -29,7 +33,11 @@ __all__ = [
     "AdviseQuery",
     "AdviseError",
     "BadRequestError",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "DeadlineExceededError",
     "OverloadedError",
+    "StoreDegradedWarning",
     "UpstreamError",
     "ServingCounters",
     "parse_query",

@@ -1,0 +1,141 @@
+"""Circuit breaker for the cold-simulation dispatch path.
+
+The paper's structures exist because a direct-mapped cache's fast path
+has a failure mode (conflict misses) worth guarding with a tiny
+dedicated structure; the daemon's fast path — "dispatch a cold key to
+the engine" — has one too: a broken pool or a poisoned spec makes every
+dispatch burn an admission slot, a sim thread, and the engine's whole
+retry budget before failing.  The breaker is the tiny dedicated
+structure for that case: after ``threshold`` dispatch failures inside a
+sliding ``window``, new cold dispatches fail *fast* (HTTP 503 +
+``Retry-After`` at the daemon layer) until a ``cooldown`` passes, then
+exactly one probe dispatch is let through to test recovery.
+
+States (the classic three):
+
+``closed``
+    Normal operation; failures are timestamped and pruned to ``window``.
+``open``
+    Every ``allow()`` is False until ``cooldown`` seconds elapse.
+``half_open``
+    One probe dispatch allowed; its success closes the breaker, its
+    failure re-opens it (and restarts the cooldown).
+
+The breaker is driven from the event-loop thread (``allow()`` at
+dispatch, ``record_*`` when the shared future settles) so no locking is
+needed; a late success from a dispatch that predates the open state is
+deliberately ignored — only the probe can close an open breaker.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, Dict
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Failure-rate breaker: closed → open → half-open probe → closed."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        window: float = 30.0,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be at least 1, got {threshold}")
+        if window <= 0 or cooldown <= 0:
+            raise ValueError("breaker window and cooldown must be positive")
+        self.threshold = threshold
+        self.window = window
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = "closed"
+        self.opens = 0          # lifetime closed/half-open -> open transitions
+        self._failures: Deque[float] = deque()
+        self._opened_at = 0.0
+        self._probing = False   # a half-open probe dispatch is in flight
+
+    # -- dispatch-side ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a new cold dispatch proceed right now?"""
+        if self.state == "closed":
+            return True
+        now = self._clock()
+        if self.state == "open":
+            if now - self._opened_at < self.cooldown:
+                return False
+            self.state = "half_open"
+            self._probing = False
+        # half_open: exactly one probe at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe could be admitted (>= 1s hint)."""
+        if self.state == "open":
+            remaining = self.cooldown - (self._clock() - self._opened_at)
+            return max(1.0, remaining)
+        return 1.0
+
+    # -- settle-side -----------------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self.state = "closed"
+            self._probing = False
+            self._failures.clear()
+        elif self.state == "closed":
+            # Recent history only: a success between failures does not
+            # erase the window, but keeps it from growing unboundedly.
+            self._prune(self._clock())
+
+    def record_failure(self) -> bool:
+        """Note one dispatch failure; True when this one opened the breaker."""
+        now = self._clock()
+        if self.state == "half_open":
+            self._open(now)
+            return True
+        if self.state == "open":
+            return False  # stale failure from a pre-open dispatch
+        self._prune(now)
+        self._failures.append(now)
+        if len(self._failures) >= self.threshold:
+            self._open(now)
+            return True
+        return False
+
+    # -- observability ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Breaker state for ``/v1/stats`` and ``/readyz``."""
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "window_s": self.window,
+            "cooldown_s": self.cooldown,
+            "recent_failures": len(self._failures),
+            "opens": self.opens,
+            "retry_after_s": round(self.retry_after(), 3) if self.state == "open" else 0.0,
+        }
+
+    # -- internals -------------------------------------------------------------
+
+    def _open(self, now: float) -> None:
+        self.state = "open"
+        self.opens += 1
+        self._opened_at = now
+        self._probing = False
+        self._failures.clear()
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._failures and self._failures[0] < cutoff:
+            self._failures.popleft()

@@ -5,7 +5,10 @@ Endpoints
 
 =====================  ======================================================
 ``GET /healthz``        liveness: ``{"status": "ok", "inflight": n}``
-``GET /v1/stats``       serving counters, admission knobs, store root
+``GET /readyz``         readiness: 200 ``ready``, 503 ``degraded`` (store
+                        failures absorbed or breaker open) or ``draining``
+``GET /v1/stats``       serving counters, admission knobs, breaker state,
+                        store state, store root
 ``POST /v1/advise``     one advisor query (see :func:`~.service.parse_query`);
                         ``"stream": true`` switches the response to a chunked
                         NDJSON event stream (accepted → heartbeat/progress →
@@ -13,10 +16,17 @@ Endpoints
 =====================  ======================================================
 
 Failure mapping: malformed queries → 400, unknown paths → 404, admission
-rejection → 429 with a ``Retry-After`` header, engine failure (after the
-PR 5 resilience layer has retried/recovered) → 503 with the reason.  The
-daemon never dies with a request: every handler error becomes a JSON
-error response and a bumped ``failed`` counter.
+rejection → 429 with a ``Retry-After`` header, open circuit breaker →
+503 with ``Retry-After``, engine failure (after the PR 5 resilience
+layer has retried/recovered) → 503, expired deadline budget → 504,
+request during graceful drain → 503 + ``Connection: close``.  The daemon
+never dies with a request: every handler error becomes a JSON error
+response and a bumped counter.
+
+``drain()`` implements graceful shutdown (the CLI wires it to SIGTERM):
+stop accepting connections, answer in-flight requests, refuse new
+requests on persistent connections with 503, and give everything up to
+``drain_deadline`` seconds to finish before force-closing.
 
 On close the daemon can fold its serving counters into a telemetry run
 record (``--emit-metrics``), so a service run lands in the same JSON
@@ -35,11 +45,13 @@ from ..common.config import baseline_system
 from ..specs import SystemSpec
 from ..telemetry.core import MetricsScope
 from ..telemetry.record import append_record, build_run_record
+from .breaker import CircuitBreaker
 from .httpio import ChunkedJsonWriter, HttpError, Request, read_request, send_json
 from .service import (
     AdviseError,
     AdvisorService,
     BadRequestError,
+    BreakerOpenError,
     OverloadedError,
     parse_query,
 )
@@ -64,6 +76,20 @@ class ServeConfig:
     #: Seconds an idle keep-alive connection may sit between requests
     #: before the server closes it.
     keepalive_timeout: float = 30.0
+    #: Server-side ceiling on per-request deadline budgets, seconds
+    #: (None = unbounded; clients may still send ``deadline_ms``).
+    request_deadline: Optional[float] = None
+    #: Seconds a graceful drain waits for in-flight work before
+    #: force-closing connections.
+    drain_deadline: float = 10.0
+    #: Cold-dispatch failures within ``breaker_window`` seconds that open
+    #: the circuit breaker (0 disables the breaker).
+    breaker_threshold: int = 5
+    breaker_window: float = 30.0
+    #: Seconds an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 5.0
+    #: Seconds a degraded store waits between recovery probes.
+    store_probe_interval: float = 5.0
     #: JSON Lines path for the shutdown run record (None = don't emit).
     emit_metrics: Optional[str] = None
 
@@ -73,17 +99,30 @@ class CacheAdvisorDaemon:
 
     def __init__(self, config: ServeConfig, store=None) -> None:
         self.config = config
+        breaker = None
+        if config.breaker_threshold > 0:
+            breaker = CircuitBreaker(
+                threshold=config.breaker_threshold,
+                window=config.breaker_window,
+                cooldown=config.breaker_cooldown,
+            )
         self.service = AdvisorService(
             store=store,
             max_inflight=config.max_inflight,
             jobs=config.jobs,
             heartbeat=config.heartbeat,
+            request_deadline=config.request_deadline,
+            breaker=breaker,
+            store_probe_interval=config.store_probe_interval,
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._started = time.perf_counter()
         self.port: Optional[int] = None
         #: Open connections, so shutdown can end idle keep-alive sessions.
         self._connections: set = set()
+        #: Requests currently inside ``_dispatch`` (drain waits on these).
+        self._active_requests = 0
+        self._draining = False
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -104,6 +143,45 @@ class CacheAdvisorDaemon:
         )
         async with self._server:
             await self._server.serve_forever()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, deadline: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, then close.
+
+        Steps: mark the daemon draining (``/readyz`` answers 503,
+        requests arriving on persistent connections are refused with 503
+        + ``Connection: close``), close the listening socket, then wait
+        up to *deadline* (default ``config.drain_deadline``) seconds for
+        active requests, inflight simulations, and open connections to
+        finish on their own before force-closing what remains.  Safe to
+        call more than once; ``aclose()`` afterwards flushes counters to
+        the run record as usual.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()  # cancels serve_forever, stops accepting
+        loop = asyncio.get_running_loop()
+        budget = self.config.drain_deadline if deadline is None else deadline
+        drain_until = loop.time() + max(0.0, budget)
+        while loop.time() < drain_until:
+            if (
+                not self._active_requests
+                and not self.service.inflight
+                and not self._connections
+            ):
+                break
+            await asyncio.sleep(0.02)
+        # Whatever is still open missed the drain deadline (or is an
+        # idle keep-alive session): force-close it.  close() is
+        # idempotent, so racing the handlers' own finally-close (or the
+        # idle reaper) is harmless.
+        for writer in list(self._connections):
+            writer.close()
 
     async def aclose(self) -> None:
         if self._server is not None:
@@ -152,8 +230,25 @@ class CacheAdvisorDaemon:
                     return
                 if request is None:
                     return  # clean EOF between requests
+                if self._draining:
+                    # The in-flight request (read before the drain began)
+                    # completed; anything arriving after is refused and
+                    # the persistent connection ends.
+                    self.service.counters.drain_rejects += 1
+                    await send_json(
+                        writer,
+                        503,
+                        {"error": "draining: daemon is shutting down"},
+                        extra_headers={"Retry-After": "1"},
+                        keep_alive=False,
+                    )
+                    return
                 keep_alive = request.wants_keep_alive
-                consumed = await self._dispatch(request, writer, keep_alive)
+                self._active_requests += 1
+                try:
+                    consumed = await self._dispatch(request, writer, keep_alive)
+                finally:
+                    self._active_requests -= 1
                 if consumed or not keep_alive:
                     return
         except (ConnectionError, asyncio.CancelledError):
@@ -185,12 +280,16 @@ class CacheAdvisorDaemon:
                 keep_alive=keep_alive,
             )
             return False
+        if route == ("GET", "/readyz"):
+            status, payload = self.readiness()
+            await send_json(writer, status, payload, keep_alive=keep_alive)
+            return False
         if route == ("GET", "/v1/stats"):
             await send_json(writer, 200, self.stats_payload(), keep_alive=keep_alive)
             return False
         if route == ("POST", "/v1/advise"):
             return await self._advise(request, writer, keep_alive)
-        if request.path in ("/healthz", "/v1/stats", "/v1/advise"):
+        if request.path in ("/healthz", "/readyz", "/v1/stats", "/v1/advise"):
             await send_json(
                 writer,
                 405,
@@ -206,6 +305,30 @@ class CacheAdvisorDaemon:
         )
         return False
 
+    def readiness(self) -> "tuple[int, dict]":
+        """``(status, payload)`` for ``/readyz``.
+
+        200 means "route traffic here"; 503 distinguishes
+        live-but-degraded (store failures absorbed, or breaker open) and
+        draining from dead (connection refused) for load balancers and
+        the loadgen's ``wait_ready``.
+        """
+        breaker = self.service.breaker_payload()
+        store_state = self.service.store_state
+        if self._draining:
+            state = "draining"
+        elif store_state != "ok" or breaker.get("state") == "open":
+            state = "degraded"
+        else:
+            state = "ready"
+        payload = {
+            "status": state,
+            "store": store_state,
+            "breaker": breaker.get("state", "disabled"),
+            "inflight": self.service.inflight,
+        }
+        return (200 if state == "ready" else 503), payload
+
     def stats_payload(self) -> dict:
         return {
             "serving": self.service.counters.as_dict(),
@@ -215,6 +338,10 @@ class CacheAdvisorDaemon:
             "retry_after_hint_s": round(self.service.retry_after, 3),
             "uptime_s": round(time.perf_counter() - self._started, 3),
             "store_root": str(self.service.store.root),
+            "store_state": self.service.store_state,
+            "breaker": self.service.breaker_payload(),
+            "draining": self._draining,
+            "request_deadline_s": self.config.request_deadline,
         }
 
     async def _advise(
@@ -235,7 +362,7 @@ class CacheAdvisorDaemon:
             return True
         try:
             payload = await self.service.advise(query)
-        except OverloadedError as exc:
+        except (OverloadedError, BreakerOpenError) as exc:
             await send_json(
                 writer,
                 exc.status,
@@ -260,7 +387,7 @@ class CacheAdvisorDaemon:
         except StopAsyncIteration:  # pragma: no cover - stream always yields
             await send_json(writer, 500, {"error": "empty event stream"})
             return
-        except OverloadedError as exc:
+        except (OverloadedError, BreakerOpenError) as exc:
             await send_json(
                 writer,
                 exc.status,

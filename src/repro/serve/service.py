@@ -37,9 +37,10 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import AsyncIterator, Dict, List, Optional
+from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from ..common.config import baseline_system
 from ..common.errors import ConfigurationError, UnknownWorkloadError
@@ -62,12 +63,17 @@ from ..experiments.engine import (
     resolve_resilience,
     run_jobs,
 )
+from ..experiments.faults import InjectedFault, ServeFaults
+from .breaker import CircuitBreaker
 
 __all__ = [
     "AdviseError",
     "BadRequestError",
     "OverloadedError",
     "UpstreamError",
+    "DeadlineExceededError",
+    "BreakerOpenError",
+    "StoreDegradedWarning",
     "AdviseQuery",
     "ServingCounters",
     "AdvisorService",
@@ -102,12 +108,39 @@ class UpstreamError(AdviseError):
     status = 503
 
 
+class DeadlineExceededError(AdviseError):
+    """The request's deadline budget ran out before a result landed.
+
+    Abandoning is waiter-local: the shared cold job keeps running for the
+    other coalesced waiters (and to warm the store), only this request's
+    connection is answered 504.
+    """
+
+    status = 504
+
+
+class BreakerOpenError(AdviseError):
+    """The cold-dispatch circuit breaker is open: failing fast."""
+
+    status = 503
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class StoreDegradedWarning(UserWarning):
+    """The service dropped to store=degraded after a store failure."""
+
+
 @dataclass(frozen=True)
 class AdviseQuery:
     """One parsed advisor query: the spec plus transport options."""
 
     spec: SystemSpec
     stream: bool = False
+    #: Client-requested deadline budget (``"deadline_ms"``), seconds.
+    deadline_s: Optional[float] = None
 
 
 class ServingCounters:
@@ -121,6 +154,8 @@ class ServingCounters:
     __slots__ = (
         "requests", "warm_hits", "cold_misses", "coalesced",
         "rejected", "failed", "streams", "negative_hits",
+        "deadline_expired", "breaker_fastfail", "breaker_opens",
+        "store_errors", "degraded_serves", "drain_rejects",
     )
 
     def __init__(self) -> None:
@@ -132,6 +167,17 @@ class ServingCounters:
         self.failed = 0
         self.streams = 0
         self.negative_hits = 0
+        # Resilience-layer outcomes (PR 10): requests answered 504 by a
+        # deadline budget, cold dispatches refused by the open breaker,
+        # breaker open transitions, store failures absorbed, requests
+        # served while the store was degraded, and requests refused
+        # during graceful drain.
+        self.deadline_expired = 0
+        self.breaker_fastfail = 0
+        self.breaker_opens = 0
+        self.store_errors = 0
+        self.degraded_serves = 0
+        self.drain_rejects = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -147,6 +193,97 @@ class _Inflight:
     #: Streaming subscribers; each receives JobProgress-shaped dicts and
     #: a ``None`` sentinel when the job settles.
     subscribers: List[asyncio.Queue] = field(default_factory=list)
+    #: Set from the sim thread when the dispatch re-probe found the key
+    #: already flushed (a request raced a just-finished simulation).
+    from_store: bool = False
+
+
+class _GuardedStore:
+    """The service's fault-aware, self-degrading view of its ResultStore.
+
+    :class:`~repro.store.core.ResultStore` already survives most damage
+    on its own, but the daemon must survive *any* store exception — an
+    injected ``store_read_fail``/``store_write_fail`` fault, a dying
+    disk, a store mount that vanished — without 500ing.  The guard wraps
+    every read and write the service performs:
+
+    * a failure degrades the store (``state == "degraded"``): reads
+      answer as misses (serve-from-engine), writes become no-ops
+      (skip memoization), and one :class:`StoreDegradedWarning` marks
+      the transition;
+    * while degraded the store is skipped entirely until
+      ``probe_interval`` seconds pass, then one operation probes it —
+      success recovers to ``"ok"``, failure restarts the clock.
+
+    Mutations happen on lookup-pool and sim threads; the races between
+    them are benign (worst case: one extra probe or a double-counted
+    failure), so no lock is taken on the request path.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        faults: ServeFaults,
+        counters: "ServingCounters",
+        probe_interval: float = 5.0,
+    ) -> None:
+        self._store = store
+        self._faults = faults
+        self._counters = counters
+        self.probe_interval = probe_interval
+        self.state = "ok"
+        self._failed_at = 0.0
+
+    def get(self, key: ResultKey) -> Tuple[Optional[object], int]:
+        if not self._attempt_allowed():
+            self._counters.degraded_serves += 1
+            return None, 0
+        try:
+            clause = self._faults.fire("store_read_fail")
+            if clause is not None:
+                raise InjectedFault(f"injected store read failure ({clause.action})")
+            result = self._store.get(key)
+        except Exception as exc:
+            self._note_failure("read", exc)
+            return None, 0
+        self._note_success()
+        return result
+
+    def put(self, key: ResultKey, result: object) -> None:
+        if not self._attempt_allowed():
+            return
+        try:
+            clause = self._faults.fire("store_write_fail")
+            if clause is not None:
+                raise InjectedFault(f"injected store write failure ({clause.action})")
+            self._store.put(key, result)
+        except Exception as exc:
+            self._note_failure("write", exc)
+            return
+        self._note_success()
+
+    # -- state ----------------------------------------------------------------
+
+    def _attempt_allowed(self) -> bool:
+        if self.state == "ok":
+            return True
+        return time.monotonic() - self._failed_at >= self.probe_interval
+
+    def _note_failure(self, op: str, exc: BaseException) -> None:
+        self._counters.store_errors += 1
+        self._failed_at = time.monotonic()
+        if self.state == "ok":
+            self.state = "degraded"
+            warnings.warn(
+                f"result store {op} failed ({exc}); serving degraded — "
+                f"answers come from the engine and are not memoized until "
+                f"the store recovers",
+                StoreDegradedWarning,
+                stacklevel=3,
+            )
+
+    def _note_success(self) -> None:
+        self.state = "ok"
 
 
 def parse_query(payload: object) -> AdviseQuery:
@@ -161,16 +298,27 @@ def parse_query(payload: object) -> AdviseQuery:
          "structure": "vc4" | {"kind": "victim_cache", ...} | null,
          "side": "d", "warmup": 0, "classify": false,
          "cache": {"size_bytes": 16384, "line_size": 32},
-         "stream": false}
+         "stream": false, "deadline_ms": 2000}
 
     The trace accepts inline workload-spec JSON — any registered kind,
     including the parameterized patterns and ``tenant_mix`` — alongside
-    the registry-name shorthand.  Malformed input raises
-    :class:`BadRequestError` with a message safe to echo to the client.
+    the registry-name shorthand.  ``deadline_ms`` asks the daemon to
+    answer (or 504) within that budget; the effective deadline is the
+    tighter of this and the server's ``--request-deadline``.  Malformed
+    input raises :class:`BadRequestError` with a message safe to echo to
+    the client.
     """
     if not isinstance(payload, dict):
         raise BadRequestError("request body must be a JSON object")
     stream = bool(payload.get("stream", False))
+    deadline_s: Optional[float] = None
+    if payload.get("deadline_ms") is not None:
+        raw_deadline = payload["deadline_ms"]
+        if isinstance(raw_deadline, bool) or not isinstance(raw_deadline, (int, float)):
+            raise BadRequestError("deadline_ms must be a number of milliseconds")
+        if raw_deadline <= 0:
+            raise BadRequestError(f"deadline_ms must be positive, got {raw_deadline}")
+        deadline_s = float(raw_deadline) / 1000.0
     try:
         if "spec" in payload:
             spec = SystemSpec.from_dict(payload["spec"])
@@ -190,7 +338,7 @@ def parse_query(payload: object) -> AdviseQuery:
         except UnknownWorkloadError as exc:
             # KeyError subclass: str() would wrap the message in repr quotes.
             raise BadRequestError(exc.args[0] if exc.args else str(exc)) from None
-    return AdviseQuery(spec=spec, stream=stream)
+    return AdviseQuery(spec=spec, stream=stream, deadline_s=deadline_s)
 
 
 def _spec_from_shorthand(payload: Dict) -> SystemSpec:
@@ -257,6 +405,9 @@ class AdvisorService:
         jobs: int = 1,
         heartbeat: float = 1.0,
         resilience: Optional[ResilienceOptions] = None,
+        request_deadline: Optional[float] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        store_probe_interval: float = 5.0,
     ) -> None:
         store = store if store is not None else current_store()
         if store is None:
@@ -266,12 +417,26 @@ class AdvisorService:
             )
         if max_inflight < 1:
             raise ConfigurationError(f"max_inflight must be at least 1, got {max_inflight}")
+        if request_deadline is not None and request_deadline <= 0:
+            raise ConfigurationError(
+                f"request_deadline must be positive, got {request_deadline:g}"
+            )
         self.store = store
         self.max_inflight = max_inflight
         self.jobs = max(1, jobs)
         self.heartbeat = heartbeat
         self.resilience = resolve_resilience(resilience)
+        #: Server-side ceiling on every request's deadline budget (s).
+        self.request_deadline = request_deadline
+        #: Cold-dispatch circuit breaker; None = disabled.
+        self.breaker = breaker
         self.counters = ServingCounters()
+        self.faults = ServeFaults()
+        #: Every store access the *service* makes goes through the guard,
+        #: so store failures degrade serving instead of 500ing requests.
+        self.guarded_store = _GuardedStore(
+            store, self.faults, self.counters, probe_interval=store_probe_interval
+        )
         self._inflight: Dict[str, _Inflight] = {}
         #: Simulations: one thread per admitted cold key.
         self._sim_pool = ThreadPoolExecutor(
@@ -300,6 +465,26 @@ class AdvisorService:
         """Seconds a rejected client should wait before retrying."""
         return min(60.0, max(1.0, self._cold_seconds))
 
+    @property
+    def store_state(self) -> str:
+        """``"ok"`` or ``"degraded"`` (store failures absorbed recently)."""
+        return self.guarded_store.state
+
+    def breaker_payload(self) -> Dict[str, object]:
+        """Breaker state for ``/v1/stats`` and ``/readyz``."""
+        if self.breaker is None:
+            return {"state": "disabled"}
+        return self.breaker.as_dict()
+
+    def effective_deadline(self, query: AdviseQuery) -> Optional[float]:
+        """The binding deadline: the tighter of client ask and server cap."""
+        budgets = [
+            budget
+            for budget in (query.deadline_s, self.request_deadline)
+            if budget is not None
+        ]
+        return min(budgets) if budgets else None
+
     # -- the negative cache ----------------------------------------------------
     #
     # Malformed and unsatisfiable bodies are memoized too: parsing is
@@ -320,7 +505,7 @@ class AdvisorService:
         """The memoized 400 message for this exact body, or None."""
         loop = asyncio.get_running_loop()
         cached, _nbytes = await loop.run_in_executor(
-            self._lookup_pool, self.store.get, self._bad_request_key(body)
+            self._lookup_pool, self.guarded_store.get, self._bad_request_key(body)
         )
         if isinstance(cached, BadQuery):
             self.counters.negative_hits += 1
@@ -332,7 +517,7 @@ class AdvisorService:
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(
             self._lookup_pool,
-            self.store.put,
+            self.guarded_store.put,
             self._bad_request_key(body),
             BadQuery(error=message),
         )
@@ -340,12 +525,23 @@ class AdvisorService:
     # -- the request path ------------------------------------------------------
 
     async def advise(self, query: AdviseQuery) -> Dict[str, object]:
-        """Answer one query; raises an :class:`AdviseError` subclass."""
+        """Answer one query; raises an :class:`AdviseError` subclass.
+
+        The deadline budget (client ``deadline_ms`` capped by the
+        server's ``request_deadline``) covers the whole path — store
+        lookup and the wait on a cold simulation.  Expiry answers *this*
+        request 504 and detaches it from the shared inflight entry;
+        the underlying job is never cancelled, because other waiters may
+        be coalesced onto it and its result still warms the store.
+        """
         self.counters.requests += 1
         loop = asyncio.get_running_loop()
+        deadline_s = self.effective_deadline(query)
+        deadline_at = None if deadline_s is None else loop.time() + deadline_s
+        lookup = loop.run_in_executor(self._lookup_pool, self._lookup, query.spec)
         try:
-            job, key, cached = await loop.run_in_executor(
-                self._lookup_pool, self._lookup, query.spec
+            job, key, cached = await self._bounded(
+                lookup, deadline_at, deadline_s, phase="store lookup"
             )
         except AdviseError:
             raise
@@ -356,15 +552,52 @@ class AdvisorService:
             return self._payload(query.spec, key, cached, served_from="store")
         entry, coalesced = self._attach_or_dispatch(job, key)
         try:
-            summary = await asyncio.shield(entry.future)
+            summary = await self._bounded(
+                asyncio.shield(entry.future), deadline_at, deadline_s,
+                phase="cold simulation", entry=entry,
+            )
         except asyncio.CancelledError:
+            raise
+        except UpstreamError:
+            self.counters.failed += 1
+            raise
+        except AdviseError:
             raise
         except Exception as exc:
             self.counters.failed += 1
             raise UpstreamError(f"simulation failed: {exc}") from exc
-        return self._payload(
-            query.spec, key, summary,
-            served_from="coalesced" if coalesced else "simulated",
+        if coalesced:
+            served_from = "coalesced"
+        else:
+            served_from = "store" if entry.from_store else "simulated"
+        return self._payload(query.spec, key, summary, served_from=served_from)
+
+    async def _bounded(self, awaitable, deadline_at, deadline_s, phase: str,
+                       entry: Optional[_Inflight] = None):
+        """Await *awaitable* within the request's remaining budget.
+
+        On expiry the abandoning is waiter-safe: the timeout cancels only
+        this request's :func:`asyncio.wait_for` wrapper (the shared
+        future is shielded by the caller), the waiter count is released,
+        and a :class:`DeadlineExceededError` carries the 504.
+        """
+        if deadline_at is None:
+            return await awaitable
+        loop = asyncio.get_running_loop()
+        remaining = deadline_at - loop.time()
+        try:
+            if remaining > 0:
+                return await asyncio.wait_for(awaitable, remaining)
+            # Budget already gone: still consume the awaitable's
+            # cancellation cleanly before raising.
+            asyncio.ensure_future(awaitable).cancel()
+        except asyncio.TimeoutError:
+            pass
+        if entry is not None:
+            entry.waiters -= 1
+        self.counters.deadline_expired += 1
+        raise DeadlineExceededError(
+            f"deadline of {deadline_s:g}s exceeded during {phase}"
         )
 
     async def advise_stream(self, query: AdviseQuery) -> AsyncIterator[Dict[str, object]]:
@@ -411,9 +644,16 @@ class AdvisorService:
                 entry.subscribers.remove(queue)
         try:
             summary = await asyncio.shield(entry.future)
+        except UpstreamError:
+            self.counters.failed += 1
+            raise
+        except AdviseError:
+            raise
         except Exception as exc:
             self.counters.failed += 1
             raise UpstreamError(f"simulation failed: {exc}") from exc
+        if not coalesced and entry.from_store:
+            served_from = "store"
         yield dict(
             self._payload(query.spec, key, summary, served_from=served_from),
             event="result",
@@ -426,12 +666,14 @@ class AdvisorService:
 
         Materializes the trace (process-memoized) the first time a
         workload is referenced — the fingerprint half of the key needs
-        the content.
+        the content.  The store probe goes through the degraded-mode
+        guard: a failing store answers "miss" and the query is served
+        from the engine instead.
         """
         job = LevelJob(spec)
         key = _store_key(job)
         assert key is not None  # LevelJob with a TraceSpec is always keyable
-        cached, _nbytes = self.store.get(key)
+        cached, _nbytes = self.guarded_store.get(key)
         return job, key, cached
 
     def _attach_or_dispatch(self, job: LevelJob, key):
@@ -439,7 +681,9 @@ class AdvisorService:
         or admit a new one.
 
         Runs on the event loop, so the check-then-create on
-        ``_inflight`` is race-free.
+        ``_inflight`` is race-free.  Joins are always admitted; a *new*
+        dispatch must pass the circuit breaker (open breaker → 503
+        fast-fail) and then admission control (full → 429).
         """
         digest = key.digest()
         entry = self._inflight.get(digest)
@@ -447,6 +691,13 @@ class AdvisorService:
             entry.waiters += 1
             self.counters.coalesced += 1
             return entry, True
+        if self.breaker is not None and not self.breaker.allow():
+            self.counters.breaker_fastfail += 1
+            raise BreakerOpenError(
+                f"circuit breaker open after repeated simulation failures "
+                f"(state={self.breaker.state})",
+                retry_after=self.breaker.retry_after(),
+            )
         if len(self._inflight) >= self.max_inflight:
             self.counters.rejected += 1
             raise OverloadedError(
@@ -475,6 +726,28 @@ class AdvisorService:
             loop.call_soon_threadsafe(self._fan_out, entry, payload)
 
         def _simulate():
+            # Re-probe the store first: this request's lookup may have
+            # missed just before another request's simulation of the
+            # same key flushed and settled (lookup and attach are not
+            # one atomic step).  The inflight entry is already
+            # published, so concurrent duplicates coalesce here instead
+            # of dispatching a third time.
+            cached, _nbytes = self.guarded_store.get(key)
+            if cached is not None:
+                entry.from_store = True
+                return cached
+            # Serve-scoped faults: a slow_sim clause stalls the dispatch
+            # (tripping request deadlines deterministically); a
+            # reject_sim clause fails it (driving the circuit breaker).
+            # Both counters advance *before* any sleep, so occurrence
+            # numbers equal dispatch order even while earlier slow
+            # dispatches are still asleep on their sim threads.
+            slow = self.faults.fire("slow_sim")
+            reject = self.faults.fire("reject_sim")
+            if slow is not None:
+                time.sleep(slow.seconds)
+            if reject is not None:
+                raise InjectedFault("injected reject_sim: cold dispatch refused")
             summary = run_jobs(
                 [job],
                 jobs=self.jobs,
@@ -484,10 +757,10 @@ class AdvisorService:
             )[0]
             # The engine flushes to the env-resolved store; when the
             # service was handed a different one, flush there too or the
-            # warm path never warms.
+            # warm path never warms.  Degraded stores skip memoization.
             active = current_store()
             if active is None or active.root != self.store.root:
-                self.store.put(key, summary)
+                self.guarded_store.put(key, summary)
             return summary
 
         task = loop.run_in_executor(self._sim_pool, _simulate)
@@ -499,22 +772,37 @@ class AdvisorService:
             queue.put_nowait(payload)
 
     def _settle(self, digest: str, entry: _Inflight, done) -> None:
+        """Resolve the shared future when the sim-thread task finishes.
+
+        The inflight entry is *always* removed first — a failed cold job
+        must never leave a dead entry new requests would coalesce onto —
+        and failures reach every waiter as one shared typed
+        :class:`UpstreamError`, so a late waiter can never observe a
+        forever-pending future after an earlier waiter saw the failure.
+        """
         self._inflight.pop(digest, None)
         if done.cancelled():
             entry.future.cancel()
         else:
             exc = done.exception()
             if exc is not None:
+                if self.breaker is not None and self.breaker.record_failure():
+                    self.counters.breaker_opens += 1
+                if not isinstance(exc, AdviseError):
+                    exc = UpstreamError(f"simulation failed: {exc}")
                 entry.future.set_exception(exc)
                 # Mark retrieved: waiters re-raise their own copy, and a
                 # waiterless failure must not log "never retrieved".
                 entry.future.exception()
             else:
-                elapsed = time.perf_counter() - entry.started
-                self._cold_seconds = (
-                    elapsed if self._cold_seconds == 0.0
-                    else 0.7 * self._cold_seconds + 0.3 * elapsed
-                )
+                if self.breaker is not None and not entry.from_store:
+                    self.breaker.record_success()
+                if not entry.from_store:
+                    elapsed = time.perf_counter() - entry.started
+                    self._cold_seconds = (
+                        elapsed if self._cold_seconds == 0.0
+                        else 0.7 * self._cold_seconds + 0.3 * elapsed
+                    )
                 entry.future.set_result(done.result())
         self._fan_out(entry, None)
 

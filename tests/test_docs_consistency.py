@@ -41,6 +41,7 @@ class TestBenchmarkHarnessComplete:
             "kernel_throughput",
             "assist_kernel_throughput",
             "serve_latency",
+            "serve_resilience",
             "workload_throughput",
         }
         stray = [
